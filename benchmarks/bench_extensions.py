@@ -1,0 +1,63 @@
+"""§8 future-work explorations as benchmark artifacts.
+
+Not paper tables — these answer the open questions §8 poses, with the
+same harness discipline as the reproduced figures (see DESIGN.md §5).
+"""
+
+from repro.analysis import extensions as ext
+
+from conftest import BENCH_SCALE
+
+
+def test_cross_protocol(benchmark, save_result):
+    def run():
+        return ext.cross_protocol_experiment(
+            seed_port=80, target_port=443, budget=10_000, scale=BENCH_SCALE
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ext_cross_protocol", ext.format_cross_protocol(result))
+    # One service's seeds meaningfully discover another service's hosts
+    # (the §6.7.1 finding, generalised across ports).
+    assert result.coverage > 0.05
+
+
+def test_seed_prefilter(benchmark, save_result):
+    def run():
+        return ext.seed_prefilter_experiment(budget=10_000, scale=BENCH_SCALE)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ext_seed_prefilter", ext.format_prefilter(rows))
+    by_variant = {r.variant: r for r in rows}
+    # Dealiased seeds keep most of the real discovery while avoiding
+    # aliased space.
+    full = by_variant["all seeds"]
+    filtered = by_variant["active+dealiased"]
+    assert filtered.dealiased_hits > 0.5 * full.dealiased_hits
+    assert (filtered.raw_hits - filtered.dealiased_hits) < (
+        full.raw_hits - full.dealiased_hits
+    )
+
+
+def test_budget_allocation(benchmark, save_result):
+    def run():
+        return ext.budget_allocation_experiment(
+            budget_per_prefix=5_000, scale=BENCH_SCALE
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ext_budget_allocation", ext.format_allocation(rows))
+    assert all(r.dealiased_hits > 0 for r in rows)
+
+
+def test_adaptive_vs_classic(benchmark, save_result):
+    def run():
+        return ext.adaptive_vs_classic_experiment(budget=8_000, scale=0.15)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ext_adaptive_vs_classic", ext.format_adaptive_comparison(rows))
+    by_pipeline = {r.pipeline: r for r in rows}
+    assert (
+        by_pipeline["adaptive"].efficiency
+        >= by_pipeline["classic"].efficiency
+    )

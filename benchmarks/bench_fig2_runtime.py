@@ -1,0 +1,36 @@
+"""Figure 2: 6Gen runtime vs number of seeds per routed prefix.
+
+The paper's C++ prototype runs the full 2.96 M-seed dataset in 9 hours;
+we measure the same runtime-vs-seed-count curve for the pure-Python
+implementation, which preserves the shape (superlinear growth, heavy
+dependence on seed structure).
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_SCALE
+
+
+def test_fig2_runtime_curve(benchmark, save_result):
+    def run():
+        return ex.fig2_runtime(
+            seed_counts=(30, 100, 300, 1000, 2000),
+            budget=10_000,
+            repeats=3,
+            scale=BENCH_SCALE,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig2_runtime", ex.format_fig2(rows))
+    # Shape: runtime grows with seed count at the extremes.
+    assert rows[-1].median_seconds > rows[0].median_seconds
+
+
+def test_fig2_single_prefix_1000_seeds(benchmark):
+    """Headline scaling point: one 6Gen run on a 1 000-seed prefix."""
+    from repro.core.sixgen import run_6gen
+
+    context = ex.standard_context(BENCH_SCALE)
+    pool = sorted(context.seed_addresses)[:1000]
+
+    benchmark(lambda: run_6gen(pool, 10_000))

@@ -1,0 +1,43 @@
+"""Figure 4: TCP/80 hits vs per-prefix probe budget.
+
+Paper shape: without dealiasing, hits keep climbing with budget
+(aliased regions absorb arbitrary probes); with dealiasing the curve
+plateaus as meaningful clustering halts — the basis for the paper's
+choice of a 1 M default budget.
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_SCALE
+
+BUDGETS = (1_000, 2_500, 5_000, 10_000, 20_000, 40_000)
+
+
+def test_fig4_budget_sweep(benchmark, save_result, save_plot):
+    def run():
+        return ex.fig4_budget_sweep(budgets=BUDGETS, scale=BENCH_SCALE)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig4_budget_sweep", ex.format_fig4(rows))
+
+    from repro.analysis.svgplot import Plot
+
+    plot = Plot(
+        title="Figure 4: hits vs per-prefix budget",
+        x_label="budget per routed prefix (probes)",
+        y_label="TCP/80 hits",
+        y_log=True,
+    )
+    plot.add("w/o dealiasing", [(r.budget, r.raw_hits) for r in rows])
+    plot.add("w/ dealiasing", [(r.budget, r.dealiased_hits) for r in rows])
+    save_plot("fig4_budget_sweep", plot)
+
+    raw = [r.raw_hits for r in rows]
+    clean = [r.dealiased_hits for r in rows]
+    # Raw hits grow monotonically with budget.
+    assert raw == sorted(raw)
+    # Dealiased hits plateau: the final doubling of budget gains little.
+    assert clean[-1] <= clean[-2] * 1.10
+    # And the raw curve keeps growing where the clean one has flattened
+    # (aliased regions keep absorbing budget).
+    assert raw[-1] > raw[-2] * 1.1

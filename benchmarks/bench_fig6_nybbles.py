@@ -1,0 +1,42 @@
+"""Figure 6: portion of routed prefixes with each nybble dynamic.
+
+Paper shape: bimodal — one mode over the subnet-identifier nybbles
+(9th–16th, 1-based) from RFC 2460 /64 layouts, and a stronger mode at
+the lowest nybbles (after the 29th) from RFC 7707 low-bit practices.
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_BUDGET, BENCH_SCALE
+
+
+def test_fig6_dynamic_nybbles(benchmark, save_result, save_plot):
+    def run():
+        return ex.fig6_dynamic_nybbles(budget=BENCH_BUDGET, scale=BENCH_SCALE)
+
+    portions = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig6_nybbles", ex.format_fig6(portions))
+
+    from repro.analysis.svgplot import Plot
+
+    plot = Plot(
+        title="Figure 6: portion of prefixes with each nybble dynamic",
+        x_label="nybble index (1-based)",
+        y_label="portion of routed prefixes",
+    )
+    plot.add("dynamic nybbles", [(i + 1, p) for i, p in enumerate(portions)])
+    save_plot("fig6_nybbles", plot)
+
+    # 0-indexed: subnet nybbles 8..15, low nybbles 28..31.
+    subnet_mode = max(portions[8:16])
+    low_mode = max(portions[28:])
+    network_head = max(portions[:8])
+    middle_valley = min(portions[20:28])
+
+    # Low-nybble mode dominates (the paper's strongest feature).
+    assert low_mode > 0.5
+    # Both modes rise above the head of the address and the valley
+    # between them — the bimodal shape.
+    assert subnet_mode > network_head
+    assert low_mode > middle_valley
+    assert subnet_mode > middle_valley

@@ -1,0 +1,27 @@
+"""Figure 7: dealiased hits per routed prefix, bucketed by seed count.
+
+Paper shape: a positive correlation between seeds and hits per prefix;
+most prefixes with more than 10 seeds yield hits.
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_BUDGET, BENCH_SCALE
+
+
+def test_fig7_hits_by_seeds(benchmark, save_result):
+    def run():
+        return ex.fig7_hits_by_seeds(budget=BENCH_BUDGET, scale=BENCH_SCALE)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig7_hits_dist", ex.format_fig7(rows))
+
+    by_bucket = {r.bucket: r for r in rows}
+    medians = [r.hit_quartiles[1] for r in rows]
+    # Positive correlation: the largest-seed bucket's median hits exceed
+    # the smallest bucket's.
+    assert medians[-1] > medians[0]
+    # Most >=10-seed prefixes have hits (paper: majority).
+    for label, row in by_bucket.items():
+        if label != "[2; 10)":
+            assert row.zero_hit_fraction < 0.5

@@ -1,0 +1,55 @@
+"""Figure 8: train-and-test — 6Gen vs Entropy/IP on the five CDN datasets.
+
+Paper shape: both algorithms near zero on CDN 1 (and weak on CDN 2);
+6Gen 1–8× ahead in the middle ground (our CDN 3); both above 88 % on
+CDN 4/5 with 6Gen >99 % on CDN 4.
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_CDN_BUDGETS, BENCH_CDN_SIZE
+
+
+def test_fig8_traintest(benchmark, save_result, save_plot):
+    def run():
+        return ex.fig8_traintest(
+            budgets=BENCH_CDN_BUDGETS, dataset_size=BENCH_CDN_SIZE, folds_to_run=1
+        )
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig8_traintest", ex.format_fig8(curves))
+
+    from repro.analysis.svgplot import Plot
+
+    plot = Plot(
+        title="Figure 8: train-and-test, fraction of test addresses found",
+        x_label="budget per CDN (probes)",
+        y_label="fraction of test addresses",
+    )
+    for curve in curves:
+        plot.add(
+            f"{curve.algorithm} {curve.cdn}",
+            [(p.budget, p.fraction) for p in curve.points],
+            dashed=(curve.algorithm == "Entropy/IP"),
+        )
+    save_plot("fig8_traintest", plot)
+
+    final = {
+        (c.cdn, c.algorithm): c.points[-1].fraction for c in curves
+    }
+
+    # CDN1: both algorithms fail (paper: Entropy/IP found zero).
+    assert final[("CDN1", "6Gen")] < 0.02
+    assert final[("CDN1", "Entropy/IP")] < 0.02
+    # CDN2: both recover only a small fraction.
+    assert final[("CDN2", "6Gen")] < 0.3
+    # CDN3: 6Gen clearly ahead (the paper's 1-8x band).
+    g6, eip = final[("CDN3", "6Gen")], final[("CDN3", "Entropy/IP")]
+    assert g6 > eip
+    assert g6 / max(eip, 1e-9) > 1.04
+    # CDN4: 6Gen above 99 % (the paper's standout number).
+    assert final[("CDN4", "6Gen")] > 0.99
+    # CDN4/5: both algorithms above 88 %.
+    for cdn in ("CDN4", "CDN5"):
+        assert final[(cdn, "6Gen")] > 0.88
+        assert final[(cdn, "Entropy/IP")] > 0.88

@@ -1,0 +1,51 @@
+"""Micro-benchmarks for the hot primitives under 6Gen.
+
+Not a paper artifact, but these are the operations Figure 2's scaling
+rests on: distance computations, nybble-tree queries, range iteration.
+"""
+
+import random
+
+from repro.core.candidates import SeedMatrix
+from repro.ipv6.distance import addr_distance
+from repro.ipv6.nybble_tree import NybbleTree
+from repro.ipv6.range_ import NybbleRange
+
+
+def _random_addrs(count, seed=0):
+    rng = random.Random(seed)
+    return [rng.getrandbits(128) for _ in range(count)]
+
+
+def test_addr_distance(benchmark):
+    a, b = _random_addrs(2)
+    benchmark(lambda: addr_distance(a, b))
+
+
+def test_seed_matrix_query_10k(benchmark):
+    seeds = _random_addrs(10_000)
+    matrix = SeedMatrix(seeds)
+    r = NybbleRange.from_address(seeds[0])
+    benchmark(lambda: matrix.min_positive_candidates(r))
+
+
+def test_nybble_tree_insert_1k(benchmark):
+    seeds = _random_addrs(1_000)
+    benchmark(lambda: NybbleTree(seeds))
+
+
+def test_nybble_tree_count_in_range(benchmark):
+    base = 0x20010DB8 << 96
+    seeds = [base | random.Random(1).getrandbits(24) for _ in range(5_000)]
+    tree = NybbleTree(seeds)
+    r = NybbleRange.parse("2001:db8::??:????")
+    benchmark(lambda: tree.count_in_range(r))
+
+
+def test_range_iteration_64k(benchmark):
+    r = NybbleRange.parse("2001:db8::????")
+    benchmark(lambda: sum(1 for _ in r.iter_ints()))
+
+
+def test_range_parse(benchmark):
+    benchmark(lambda: NybbleRange.parse("2001:db8::[1-3,8]:?00?"))

@@ -1,0 +1,30 @@
+"""§6.3 design decision: tight vs loose cluster ranges.
+
+Paper numbers: loose 56.7 M raw / 1.0 M dealiased vs tight 55.9 M raw /
+973 K dealiased — loose wins slightly on both, and becomes the default.
+The benchmark asserts the qualitative outcome: the two modes land close
+together, with loose at least on par.
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_BUDGET, BENCH_SCALE
+
+
+def test_tight_vs_loose(benchmark, save_result):
+    def run():
+        return ex.tight_vs_loose(budget=BENCH_BUDGET, scale=BENCH_SCALE)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("tight_vs_loose", ex.format_tight_vs_loose(rows))
+
+    by_mode = {r.mode: r for r in rows}
+    loose, tight = by_mode["loose"], by_mode["tight"]
+    # On *dealiased* hits — the meaningful metric — loose wins, as in
+    # the paper (1.0 M vs 973 K).
+    assert loose.dealiased_hits >= tight.dealiased_hits
+    # On raw hits the two modes land in the same ballpark; the ordering
+    # there is workload-dependent (the paper saw a 1.4 % edge for loose,
+    # this simulation's random-low-bit networks can favour tight).
+    ratio = loose.raw_hits / tight.raw_hits
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,60 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md §4) against the simulated Internet and writes the formatted
+rows/series to ``benchmarks/results/<name>.txt`` so the reproduced
+artifact can be inspected after the run.
+
+Scale notes: the simulation is ~100× smaller than the paper's Internet
+measurement, and probe budgets are scaled accordingly (20 K per routed
+prefix instead of 1 M; CDN budget sweeps to 100 K instead of 1 M).
+EXPERIMENTS.md records paper-vs-measured for each artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Simulation scale shared by all benchmarks (overridable via env).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+#: Per-prefix probe budget for full-scan benchmarks.
+BENCH_BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", "20000"))
+
+#: CDN dataset size for the §7 comparisons.
+BENCH_CDN_SIZE = int(os.environ.get("REPRO_BENCH_CDN_SIZE", "3000"))
+
+#: CDN budget sweep (scaled from the paper's 0–1 M axis).
+BENCH_CDN_BUDGETS = (2_000, 5_000, 10_000, 25_000, 50_000)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Persist one experiment's formatted output to the results dir."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_plot(results_dir):
+    """Persist one experiment's figure as an SVG in the results dir."""
+    from repro.analysis.svgplot import save_svg
+
+    def _save(name: str, plot) -> None:
+        save_svg(plot, results_dir / f"{name}.svg")
+
+    return _save

@@ -1,0 +1,47 @@
+"""Quickstart: run 6Gen on a handful of seed addresses.
+
+Demonstrates the core public API: parse seeds, run the algorithm with a
+probe budget, inspect the clusters it grew, and emit scan targets.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IPv6Addr, run_6gen
+
+
+def main() -> None:
+    # Seeds: addresses you already know to be active.  Here, a web farm
+    # with low-byte addresses plus two hosts in a second subnet.
+    seed_texts = [
+        "2001:db8:0:1::1",
+        "2001:db8:0:1::2",
+        "2001:db8:0:1::3",
+        "2001:db8:0:1::4",
+        "2001:db8:0:1::5",
+        "2001:db8:0:2::1",
+        "2001:db8:0:2::2",
+    ]
+    seeds = [IPv6Addr.parse(t) for t in seed_texts]
+
+    # A probe budget of 200: 6Gen may cover at most 200 new addresses.
+    result = run_6gen(seeds, budget=200)
+
+    print(f"seeds: {result.seed_count}")
+    print(f"iterations: {result.iterations}")
+    print(f"budget used: {result.budget_used}/{result.budget_limit}\n")
+
+    print("clusters (range / seeds inside / range size):")
+    for cluster in sorted(result.clusters, key=lambda c: -c.seed_count):
+        print(
+            f"  {cluster.range.wildcard_text():<24}"
+            f" seeds={cluster.seed_count:<3} size={cluster.range.size()}"
+        )
+
+    targets = sorted(result.new_targets(seeds))
+    print(f"\n{len(targets)} new scan targets; first ten:")
+    for value in targets[:10]:
+        print(f"  {IPv6Addr(value)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Target Generation for Internet-wide IPv6
+Scanning" (Murdock et al., IMC 2017).
+
+The package provides:
+
+* :mod:`repro.ipv6` — IPv6 address/range/trie primitives;
+* :mod:`repro.core` — the 6Gen target generation algorithm;
+* :mod:`repro.entropyip` — the Entropy/IP comparison TGA;
+* :mod:`repro.baselines` — Ullrich recursive, RFC 7707, random;
+* :mod:`repro.simnet` — a simulated IPv6 Internet (ground truth,
+  BGP table, DNS seed snapshot, aliased regions);
+* :mod:`repro.scanner` — a ZMap-like probe engine and the §6.2
+  dealiasing pipeline;
+* :mod:`repro.analysis` — the per-figure/table experiment harness;
+* :mod:`repro.datasets` — synthetic CDN datasets and hitlist I/O.
+
+Quickstart::
+
+    from repro import run_6gen, IPv6Addr
+
+    seeds = [IPv6Addr.parse(t) for t in ("2001:db8::1", "2001:db8::2")]
+    result = run_6gen(seeds, budget=1000)
+    for cluster in result.clusters:
+        print(cluster)
+"""
+
+from .core import SixGen, SixGenConfig, SixGenResult, run_6gen
+from .entropyip import fit_entropy_ip, run_entropy_ip
+from .ipv6 import IPv6Addr, NybbleRange, NybbleTree, Prefix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IPv6Addr",
+    "NybbleRange",
+    "NybbleTree",
+    "Prefix",
+    "SixGen",
+    "SixGenConfig",
+    "SixGenResult",
+    "fit_entropy_ip",
+    "run_6gen",
+    "run_entropy_ip",
+    "__version__",
+]

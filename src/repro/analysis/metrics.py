@@ -1,0 +1,194 @@
+"""Measurement metrics shared by the experiment harness.
+
+Implements the aggregations behind the paper's tables and figures:
+top-AS tables (Table 1), per-ASN CDFs (Figure 3), seed-count bucketing
+(Figures 5 & 7), cluster censuses (Figure 5), and the dynamic-nybble
+histogram (Figure 6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.sixgen import SixGenResult
+from ..ipv6.nybble import NYBBLE_COUNT
+from ..ipv6.prefix import Prefix
+from ..simnet.asn import AsRegistry
+from ..simnet.bgp import BgpTable
+
+
+@dataclass(frozen=True)
+class AsShare:
+    """One row of a Table 1-style top-AS table."""
+
+    name: str
+    asn: int
+    count: int
+    share: float
+
+    def __str__(self) -> str:
+        return f"{self.name:<16} AS{self.asn:<7} {self.count:>9}  {self.share:6.1%}"
+
+
+def top_ases(
+    addrs: Iterable[int],
+    bgp: BgpTable,
+    registry: AsRegistry,
+    k: int = 10,
+) -> list[AsShare]:
+    """Top-``k`` ASes by address count with their shares (Table 1)."""
+    counts: Counter[int] = Counter()
+    total = 0
+    for addr in addrs:
+        asn = bgp.origin_asn(int(addr))
+        if asn is not None:
+            counts[asn] += 1
+            total += 1
+    rows = []
+    for asn, count in counts.most_common(k):
+        rows.append(
+            AsShare(
+                name=registry.name_of(asn), asn=asn, count=count, share=count / total
+            )
+        )
+    return rows
+
+
+def asn_cdf(addrs: Iterable[int], bgp: BgpTable) -> list[tuple[int, float]]:
+    """CDF of addresses across ASNs, ordered by per-ASN count (Figure 3).
+
+    Returns ``(rank, cumulative_fraction)`` points: the fraction of all
+    addresses contained in the top-``rank`` ASNs.
+    """
+    counts: Counter[int] = Counter()
+    for addr in addrs:
+        asn = bgp.origin_asn(int(addr))
+        if asn is not None:
+            counts[asn] += 1
+    total = sum(counts.values())
+    points: list[tuple[int, float]] = []
+    cumulative = 0
+    for rank, (_, count) in enumerate(counts.most_common(), start=1):
+        cumulative += count
+        points.append((rank, cumulative / total if total else 0.0))
+    return points
+
+
+def cdf(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF points ``(value, fraction <= value)``."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+#: The paper's seed-count buckets for Figures 5 and 7.
+SEED_BUCKETS: tuple[tuple[int, int], ...] = (
+    (2, 10),
+    (10, 100),
+    (100, 1_000),
+    (1_000, 10_000),
+    (10_000, 100_000),
+)
+
+
+def bucket_label(bounds: tuple[int, int]) -> str:
+    return f"[{bounds[0]}; {bounds[1]})"
+
+
+def bucket_prefixes_by_seed_count(
+    groups: Mapping[Prefix, Sequence[int]],
+    buckets: Sequence[tuple[int, int]] = SEED_BUCKETS,
+) -> dict[tuple[int, int], list[Prefix]]:
+    """Group routed prefixes into the paper's seed-count buckets."""
+    out: dict[tuple[int, int], list[Prefix]] = {b: [] for b in buckets}
+    for prefix, seeds in groups.items():
+        n = len(seeds)
+        for low, high in buckets:
+            if low <= n < high:
+                out[(low, high)].append(prefix)
+                break
+    return out
+
+
+@dataclass
+class ClusterCensus:
+    """Per-prefix cluster statistics for Figure 5."""
+
+    prefix: Prefix
+    seed_count: int
+    singleton_clusters: int
+    grown_clusters: int
+
+
+def cluster_census(
+    results: Mapping[Prefix, SixGenResult]
+) -> list[ClusterCensus]:
+    """Singleton/grown cluster counts per routed prefix (Figure 5)."""
+    rows = []
+    for prefix, result in results.items():
+        rows.append(
+            ClusterCensus(
+                prefix=prefix,
+                seed_count=result.seed_count,
+                singleton_clusters=len(result.singleton_clusters()),
+                grown_clusters=len(result.grown_clusters()),
+            )
+        )
+    return rows
+
+
+def dynamic_nybble_histogram(
+    results: Mapping[Prefix, SixGenResult]
+) -> list[float]:
+    """Portion of routed prefixes with each nybble dynamic (Figure 6).
+
+    For each nybble index, the fraction of prefixes that have *any*
+    cluster range with that nybble dynamic.  The paper observes a
+    bimodal shape: subnet-identifier nybbles (9–16) and the lowest
+    nybbles (≥ 29, 1-based) dominate.
+    """
+    counts = [0] * NYBBLE_COUNT
+    total = len(results)
+    for result in results.values():
+        for index in result.dynamic_nybble_indices():
+            counts[index] += 1
+    return [c / total if total else 0.0 for c in counts]
+
+
+def hits_per_prefix(
+    hits: Iterable[int], groups: Mapping[Prefix, Sequence[int]]
+) -> dict[Prefix, int]:
+    """Count hits inside each routed prefix (Figure 7).
+
+    Prefixes are matched by containment (groups carry the routed
+    prefixes of the run); hits outside every known prefix are ignored.
+    """
+    by_length: dict[int, dict[int, Prefix]] = defaultdict(dict)
+    for prefix in groups:
+        by_length[prefix.length][prefix.network] = prefix
+    counts: dict[Prefix, int] = {prefix: 0 for prefix in groups}
+    lengths = sorted(by_length, reverse=True)
+    for addr in hits:
+        value = int(addr)
+        for length in lengths:
+            candidate = by_length[length].get(
+                Prefix.containing(value, length).network
+            )
+            if candidate is not None:
+                counts[candidate] += 1
+                break
+    return counts
+
+
+def quantiles(values: Sequence[float], points: Sequence[float] = (0.25, 0.5, 0.75)) -> list[float]:
+    """Simple inclusive quantiles of a sample (no interpolation surprises)."""
+    if not values:
+        return [float("nan")] * len(points)
+    ordered = sorted(values)
+    out = []
+    for q in points:
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        out.append(float(ordered[idx]))
+    return out

@@ -1,0 +1,235 @@
+"""Dependency-free SVG plotting for the regenerated figures.
+
+The benchmark harness emits each figure's data as text; this module
+also renders the line/CDF figures (Figures 3, 4, 8, 9) as standalone
+SVG files so the reproduction produces literal *figures*, not just
+rows.  Only Python's string formatting is used — no plotting library
+is available offline.
+
+The plots are deliberately minimal: linear or log-10 axes, polyline
+series with markers, a legend, and tick labels.  Enough to eyeball a
+shape against the paper's figure.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: A small colour cycle (hex) for series.
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+           "#e377c2", "#17becf", "#bcbd22", "#7f7f7f")
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and its (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]]
+    color: str | None = None
+    dashed: bool = False
+
+
+@dataclass
+class Plot:
+    """A complete line plot specification."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    x_log: bool = False
+    y_log: bool = False
+    width: int = 640
+    height: int = 420
+
+    def add(self, label: str, points: Sequence[tuple[float, float]], **kwargs) -> None:
+        self.series.append(Series(label=label, points=list(points), **kwargs))
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    """Roughly ``count`` round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    raw_step = (hi - lo) / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw_step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    tick = first
+    while tick <= hi + 1e-9 * step:
+        ticks.append(round(tick, 10))
+        tick += step
+    return ticks or [lo]
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Powers of ten covering [lo, hi] (lo must be positive)."""
+    start = math.floor(math.log10(lo))
+    end = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(start, end + 1)]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1_000_000:
+        return f"{value/1_000_000:g}M"
+    if abs(value) >= 1_000:
+        return f"{value/1_000:g}k"
+    if abs(value) < 0.01:
+        return f"{value:.0e}"
+    return f"{value:g}"
+
+
+def render_svg(plot: Plot) -> str:
+    """Render a plot to a standalone SVG document string."""
+    margin_left, margin_right = 70, 20
+    margin_top, margin_bottom = 44, 56
+    inner_w = plot.width - margin_left - margin_right
+    inner_h = plot.height - margin_top - margin_bottom
+
+    all_points = [p for s in plot.series for p in s.points]
+    if not all_points:
+        raise ValueError("cannot render a plot with no points")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+
+    def bounds(values: list[float], log: bool) -> tuple[float, float]:
+        if log:
+            positive = [v for v in values if v > 0]
+            lo = min(positive) if positive else 1.0
+            hi = max(positive) if positive else 10.0
+            return lo, max(hi, lo * 10)
+        lo, hi = min(values), max(values)
+        if lo == hi:
+            hi = lo + 1
+        return (min(lo, 0) if lo >= 0 else lo), hi
+
+    x_lo, x_hi = bounds(xs, plot.x_log)
+    y_lo, y_hi = bounds(ys, plot.y_log)
+
+    def x_pos(x: float) -> float:
+        if plot.x_log:
+            span = math.log10(x_hi) - math.log10(x_lo)
+            frac = (math.log10(max(x, x_lo)) - math.log10(x_lo)) / span
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return margin_left + frac * inner_w
+
+    def y_pos(y: float) -> float:
+        if plot.y_log:
+            span = math.log10(y_hi) - math.log10(y_lo)
+            frac = (math.log10(max(y, y_lo)) - math.log10(y_lo)) / span
+        else:
+            frac = (y - y_lo) / (y_hi - y_lo)
+        return margin_top + (1 - frac) * inner_h
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{plot.width}" '
+        f'height="{plot.height}" viewBox="0 0 {plot.width} {plot.height}" '
+        f'font-family="sans-serif" font-size="12">'
+    )
+    parts.append(f'<rect width="{plot.width}" height="{plot.height}" fill="white"/>')
+    parts.append(
+        f'<text x="{plot.width/2:.0f}" y="22" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{_escape(plot.title)}</text>'
+    )
+
+    # Axes box.
+    parts.append(
+        f'<rect x="{margin_left}" y="{margin_top}" width="{inner_w}" '
+        f'height="{inner_h}" fill="none" stroke="#333"/>'
+    )
+
+    # Ticks and gridlines.
+    x_ticks = _log_ticks(x_lo, x_hi) if plot.x_log else _nice_ticks(x_lo, x_hi)
+    y_ticks = _log_ticks(y_lo, y_hi) if plot.y_log else _nice_ticks(y_lo, y_hi)
+    for tick in x_ticks:
+        px = x_pos(tick)
+        if not margin_left - 1 <= px <= plot.width - margin_right + 1:
+            continue
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{margin_top}" x2="{px:.1f}" '
+            f'y2="{margin_top + inner_h}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{margin_top + inner_h + 18}" '
+            f'text-anchor="middle">{_format_tick(tick)}</text>'
+        )
+    for tick in y_ticks:
+        py = y_pos(tick)
+        if not margin_top - 1 <= py <= plot.height - margin_bottom + 1:
+            continue
+        parts.append(
+            f'<line x1="{margin_left}" y1="{py:.1f}" '
+            f'x2="{margin_left + inner_w}" y2="{py:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{py + 4:.1f}" '
+            f'text-anchor="end">{_format_tick(tick)}</text>'
+        )
+
+    # Axis labels.
+    parts.append(
+        f'<text x="{margin_left + inner_w/2:.0f}" y="{plot.height - 12}" '
+        f'text-anchor="middle">{_escape(plot.x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{margin_top + inner_h/2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {margin_top + inner_h/2:.0f})">'
+        f"{_escape(plot.y_label)}</text>"
+    )
+
+    # Series.
+    for i, series in enumerate(plot.series):
+        color = series.color or PALETTE[i % len(PALETTE)]
+        coords = " ".join(
+            f"{x_pos(x):.1f},{y_pos(y):.1f}" for x, y in series.points
+        )
+        dash = ' stroke-dasharray="6,4"' if series.dashed else ""
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="2"{dash}/>'
+        )
+        for x, y in series.points:
+            parts.append(
+                f'<circle cx="{x_pos(x):.1f}" cy="{y_pos(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+
+    # Legend (top-left inside the axes box).
+    legend_y = margin_top + 14
+    for i, series in enumerate(plot.series):
+        color = series.color or PALETTE[i % len(PALETTE)]
+        y = legend_y + i * 16
+        parts.append(
+            f'<line x1="{margin_left + 10}" y1="{y - 4}" '
+            f'x2="{margin_left + 34}" y2="{y - 4}" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left + 40}" y="{y}">{_escape(series.label)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def save_svg(plot: Plot, path: str | os.PathLike) -> None:
+    """Render and write a plot to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(plot) + "\n")

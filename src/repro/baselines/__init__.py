@@ -1,0 +1,26 @@
+"""Comparator TGAs: Ullrich recursive, RFC 7707 heuristics, random guessing.
+
+These are the other algorithms the paper situates 6Gen against (§3.3);
+each exposes a ``run_*`` function with the common
+``(seeds, budget) -> set[int]`` shape.
+"""
+
+from .lowbyte import low_byte_neighbours, network_guesses, run_lowbyte
+from .mra import Aggregate, dense_prefixes, multi_resolution_aggregates, run_mra
+from .random_gen import covering_prefix, run_random
+from .ullrich import BitRange, run_ullrich, ullrich_range
+
+__all__ = [
+    "Aggregate",
+    "BitRange",
+    "covering_prefix",
+    "dense_prefixes",
+    "low_byte_neighbours",
+    "multi_resolution_aggregates",
+    "network_guesses",
+    "run_lowbyte",
+    "run_mra",
+    "run_random",
+    "run_ullrich",
+    "ullrich_range",
+]

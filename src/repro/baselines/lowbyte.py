@@ -1,0 +1,94 @@
+"""RFC 7707 heuristic target generation (paper §3.2).
+
+Predicts neighbours of known addresses using the documented operator
+practices: vary the low-order bytes of each seed, and probe the
+well-known "easy" interface identifiers (::1, ::2, …, embedded service
+ports, common hex words) within each /64 observed to contain a seed.
+
+This is the family of strategies the Ullrich et al. evaluation compared
+against; it serves as a simple, pattern-blind baseline here.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, Sequence
+
+from ..ipv6.patterns import COMMON_PORTS, HEX_WORDS
+
+_IID_MASK = (1 << 64) - 1
+
+
+def _well_known_iids() -> list[int]:
+    """Interface identifiers worth probing in any network (RFC 7707)."""
+    iids = list(range(0, 257))  # ::0 .. ::100
+    iids += [int(format(p, "d"), 16) for p in COMMON_PORTS]
+    iids += [int(word, 16) for word in HEX_WORDS]
+    seen: set[int] = set()
+    out = []
+    for iid in iids:
+        if iid not in seen:
+            seen.add(iid)
+            out.append(iid)
+    return out
+
+
+_WELL_KNOWN_IIDS = _well_known_iids()
+
+
+def low_byte_neighbours(seed: int, span: int = 256) -> Iterator[int]:
+    """Addresses sharing all but the low byte(s) with the seed.
+
+    Varies the final 8 bits through ``span`` consecutive values starting
+    at the seed's low-byte-aligned base.
+    """
+    base = int(seed) & ~0xFF
+    for offset in range(span):
+        yield base + offset
+
+
+def network_guesses(seed: int) -> Iterator[int]:
+    """Well-known interface identifiers within the seed's /64."""
+    network = int(seed) & ~_IID_MASK
+    for iid in _WELL_KNOWN_IIDS:
+        yield network | iid
+
+
+def run_lowbyte(
+    seeds: Sequence[int] | Iterable[int],
+    budget: int,
+    *,
+    rng_seed: int | None = 0,
+) -> set[int]:
+    """Budgeted RFC 7707-style target generation.
+
+    Interleaves the per-seed generators round-robin so the budget is
+    spread across networks instead of exhausting on the first seed.
+    Seeds themselves are excluded from the emitted targets.
+    """
+    seed_list = sorted(set(int(s) for s in seeds))
+    if budget <= 0 or not seed_list:
+        return set()
+    rng = random.Random(rng_seed)
+    rng.shuffle(seed_list)
+    generators = [
+        itertools.chain(network_guesses(s), low_byte_neighbours(s, span=4096))
+        for s in seed_list
+    ]
+    seed_set = set(seed_list)
+    targets: set[int] = set()
+    active = list(generators)
+    while active and len(targets) < budget:
+        still_active = []
+        for gen in active:
+            addr = next(gen, None)
+            if addr is None:
+                continue
+            still_active.append(gen)
+            if addr not in seed_set and addr not in targets:
+                targets.add(addr)
+                if len(targets) >= budget:
+                    break
+        active = still_active
+    return targets

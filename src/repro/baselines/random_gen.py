@@ -1,0 +1,59 @@
+"""Brute-force random target generation (the paper's strawman, §1/§4).
+
+Uniform random guessing inside the covering prefix of the seeds.  In a
+space of 2**64 interface identifiers this finds essentially nothing —
+the paper's motivation for algorithmic target generation — but it is
+the honest zero-intelligence baseline for benchmark floors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..ipv6.prefix import Prefix
+
+
+def covering_prefix(seeds: Sequence[int]) -> Prefix:
+    """The longest CIDR prefix containing every seed."""
+    if not seeds:
+        raise ValueError("covering_prefix requires at least one seed")
+    first = int(seeds[0])
+    common = 128
+    for s in seeds[1:]:
+        diff = first ^ int(s)
+        common = min(common, 128 - diff.bit_length())
+    return Prefix.containing(first, common)
+
+
+def run_random(
+    seeds: Sequence[int] | Iterable[int],
+    budget: int,
+    *,
+    prefix: Prefix | None = None,
+    rng_seed: int | None = 0,
+) -> set[int]:
+    """Generate ``budget`` distinct uniform-random targets.
+
+    Draws from ``prefix`` when given, otherwise from the seeds'
+    covering prefix.  Seeds are excluded from the output.
+    """
+    seed_list = [int(s) for s in seeds]
+    if budget <= 0:
+        return set()
+    if prefix is None:
+        prefix = covering_prefix(seed_list)
+    seed_set = set(seed_list)
+    capacity = prefix.size() - len([s for s in seed_set if prefix.contains(s)])
+    if budget > capacity:
+        budget = capacity
+    rng = random.Random(rng_seed)
+    targets: set[int] = set()
+    if prefix.size() <= 4 * (budget + len(seed_set)):
+        pool = [a.value for a in prefix.addresses() if a.value not in seed_set]
+        return set(rng.sample(pool, budget))
+    while len(targets) < budget:
+        addr = prefix.random_address(rng).value
+        if addr not in seed_set:
+            targets.add(addr)
+    return targets

@@ -1,0 +1,164 @@
+"""The Ullrich et al. recursive pattern-based TGA (paper §3.3, ARES '15).
+
+Takes a set of seeds, a starting address range, and a threshold ``n_bits``.
+Each recursion level finds the seeds inside the current range, picks the
+(undetermined bit, value) pair matched by the most seeds, fixes that
+bit, and recurses until only ``n_bits`` bits remain undetermined.  The
+final range's addresses are the scan targets.
+
+As the paper notes, this baseline can only output ranges of constant
+size (``2**n_bits``) and needs an initial range as input — 6Gen's key
+advantages are producing multiple variable-size ranges automatically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..ipv6.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class BitRange:
+    """A 128-bit range defined by a mask of fixed bits and their values."""
+
+    fixed_mask: int  # bit set => bit position is determined
+    fixed_value: int  # values at determined positions (0 elsewhere)
+
+    def __post_init__(self):
+        if self.fixed_value & ~self.fixed_mask:
+            raise ValueError("fixed_value has bits outside fixed_mask")
+
+    @property
+    def free_bits(self) -> int:
+        """Number of undetermined bit positions."""
+        return 128 - self.fixed_mask.bit_count()
+
+    def size(self) -> int:
+        return 1 << self.free_bits
+
+    def contains(self, addr: int) -> bool:
+        return (int(addr) & self.fixed_mask) == self.fixed_value
+
+    def with_bit(self, bit: int, value: int) -> "BitRange":
+        """Fix one more bit position (0 = least significant bit)."""
+        mask_bit = 1 << bit
+        if self.fixed_mask & mask_bit:
+            raise ValueError(f"bit {bit} is already fixed")
+        return BitRange(self.fixed_mask | mask_bit, self.fixed_value | (value << bit))
+
+    def iter_ints(self) -> Iterator[int]:
+        """Iterate all addresses in the range (check free_bits first!)."""
+        free_positions = [b for b in range(128) if not (self.fixed_mask >> b) & 1]
+        for combo in range(1 << len(free_positions)):
+            addr = self.fixed_value
+            for i, bit in enumerate(free_positions):
+                if (combo >> i) & 1:
+                    addr |= 1 << bit
+            yield addr
+
+    def sample_ints(self, count: int, rng: random.Random) -> list[int]:
+        """``count`` distinct random addresses in the range."""
+        if count > self.size():
+            raise ValueError(f"cannot sample {count} from range of size {self.size()}")
+        free_positions = [b for b in range(128) if not (self.fixed_mask >> b) & 1]
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            addr = self.fixed_value
+            for bit in free_positions:
+                if rng.getrandbits(1):
+                    addr |= 1 << bit
+            chosen.add(addr)
+        return sorted(chosen)
+
+    @classmethod
+    def from_prefix(cls, prefix: Prefix) -> "BitRange":
+        mask = ((1 << prefix.length) - 1) << (128 - prefix.length) if prefix.length else 0
+        return cls(mask, prefix.network)
+
+
+def ullrich_range(
+    seeds: Sequence[int],
+    start: BitRange,
+    n_bits: int,
+) -> BitRange:
+    """Run the recursive bit-fixing algorithm down to ``n_bits`` free bits.
+
+    At each level, the (bit, value) pair matching the largest number of
+    in-range seeds is fixed; ties prefer the most significant bit and
+    value 0 (deterministic, so results are reproducible).
+    """
+    if not 0 <= n_bits <= 128:
+        raise ValueError(f"n_bits out of range: {n_bits}")
+    if start.fixed_mask == 0:
+        raise ValueError("the starting range must have at least one bit determined")
+    current = start
+    in_range = [int(s) for s in seeds if start.contains(s)]
+    while current.free_bits > n_bits:
+        if not in_range:
+            # No seeds left to guide the choice; fix the most significant
+            # free bit to zero and continue (degenerates to a prefix walk).
+            bit = max(b for b in range(128) if not (current.fixed_mask >> b) & 1)
+            current = current.with_bit(bit, 0)
+            continue
+        best: tuple[int, int, int] | None = None  # (count, bit, value)
+        for bit in range(127, -1, -1):
+            if (current.fixed_mask >> bit) & 1:
+                continue
+            ones = sum(1 for s in in_range if (s >> bit) & 1)
+            zeros = len(in_range) - ones
+            for value, count in ((0, zeros), (1, ones)):
+                if best is None or count > best[0]:
+                    best = (count, bit, value)
+        assert best is not None
+        _, bit, value = best
+        current = current.with_bit(bit, value)
+        in_range = [s for s in in_range if current.contains(s)]
+    return current
+
+
+def run_ullrich(
+    seeds: Sequence[int] | Iterable[int],
+    budget: int,
+    *,
+    start: BitRange | Prefix | None = None,
+    rng_seed: int | None = 0,
+) -> set[int]:
+    """Budgeted target generation with the Ullrich baseline.
+
+    ``n_bits`` is derived from the budget (largest power of two that
+    fits); if the final range still exceeds the budget the targets are
+    sampled from it.  When no starting range is given, the covering
+    prefix of the seeds is used (the paper's requirement of an initial
+    range with at least one determined bit).
+    """
+    seeds = [int(s) for s in seeds]
+    if budget <= 0 or not seeds:
+        return set()
+    if start is None:
+        start_range = _covering_bit_range(seeds)
+    elif isinstance(start, Prefix):
+        start_range = BitRange.from_prefix(start)
+    else:
+        start_range = start
+    n_bits = max(0, budget.bit_length() - 1)  # 2**n_bits <= budget
+    n_bits = min(n_bits, start_range.free_bits)
+    final = ullrich_range(seeds, start_range, n_bits)
+    if final.size() <= budget:
+        return set(final.iter_ints())
+    rng = random.Random(rng_seed)
+    return set(final.sample_ints(budget, rng))
+
+
+def _covering_bit_range(seeds: Sequence[int]) -> BitRange:
+    """The longest common bit prefix of the seeds, as a starting range."""
+    common = 128
+    first = seeds[0]
+    for s in seeds[1:]:
+        diff = first ^ s
+        common = min(common, 128 - diff.bit_length())
+    common = max(common, 1)  # the algorithm needs >= 1 determined bit
+    mask = ((1 << common) - 1) << (128 - common)
+    return BitRange(mask, first & mask)

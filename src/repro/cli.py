@@ -1,0 +1,436 @@
+"""Command-line interface: ``repro6`` / ``python -m repro``.
+
+Subcommands mirror the toolchain of the paper:
+
+* ``6gen``       — run 6Gen on a hitlist file, write targets;
+* ``entropy-ip`` — run Entropy/IP on a hitlist file, write targets;
+* ``scan``       — scan a target hitlist against the simulated Internet;
+* ``dealias``    — run the §6.2 dealiasing pipeline on a hit list;
+* ``simulate``   — build the simulated Internet and emit its seed snapshot;
+* ``experiment`` — run a named paper experiment and print its table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import experiments as ex
+from .core.sixgen import run_6gen
+from .datasets.hitlist import read_hitlist_ints, write_hitlist
+from .entropyip.generator import run_entropy_ip
+from .scanner.dealias import dealias
+from .scanner.engine import Scanner
+from .simnet.dns import collect_seeds
+from .simnet.ground_truth import default_internet
+
+
+def _cmd_6gen(args: argparse.Namespace) -> int:
+    seeds = read_hitlist_ints(args.seeds)
+    if not seeds:
+        print("error: no seeds in input", file=sys.stderr)
+        return 1
+    result = run_6gen(
+        seeds,
+        args.budget,
+        loose=not args.tight,
+        ledger=args.ledger,
+        rng_seed=args.rng_seed,
+    )
+    count = write_hitlist(
+        args.output,
+        result.iter_targets(),
+        header=f"6Gen targets: {len(seeds)} seeds, budget {args.budget}",
+    )
+    print(f"seeds: {len(seeds)}")
+    print(f"clusters: {len(result.clusters)} "
+          f"({len(result.grown_clusters())} grown, "
+          f"{len(result.singleton_clusters())} singleton)")
+    print(f"budget used: {result.budget_used}/{result.budget_limit}")
+    print(f"targets written: {count} -> {args.output}")
+    if args.ranges_output:
+        from .datasets.rangelist import write_rangelist
+
+        range_count = write_rangelist(
+            args.ranges_output,
+            (c.range for c in result.clusters),
+            header=f"6Gen cluster ranges: {len(seeds)} seeds, budget {args.budget}",
+        )
+        print(f"cluster ranges written: {range_count} -> {args.ranges_output}")
+    if args.show_clusters:
+        for cluster in sorted(
+            result.clusters, key=lambda c: -c.seed_count
+        )[: args.show_clusters]:
+            print(f"  {cluster}")
+    return 0
+
+
+def _cmd_entropy_ip(args: argparse.Namespace) -> int:
+    seeds = read_hitlist_ints(args.seeds)
+    if not seeds:
+        print("error: no seeds in input", file=sys.stderr)
+        return 1
+    targets = run_entropy_ip(seeds, args.budget)
+    count = write_hitlist(
+        args.output,
+        targets,
+        header=f"Entropy/IP targets: {len(seeds)} seeds, budget {args.budget}",
+    )
+    print(f"seeds: {len(seeds)}")
+    print(f"targets written: {count} -> {args.output}")
+    return 0
+
+
+def _load_internet(args: argparse.Namespace):
+    """World selection shared by scan/dealias/simulate/adaptive."""
+    if getattr(args, "world", None):
+        from .simnet.worldfile import load_world
+
+        return load_world(args.world)
+    return default_internet(scale=args.scale, rng_seed=args.world_seed)
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    targets = read_hitlist_ints(args.targets)
+    internet = _load_internet(args)
+    scanner = Scanner(internet.truth)
+    result = scanner.scan(targets, port=args.port)
+    print(f"targets: {len(targets)}")
+    print(f"probes sent: {result.stats.probes_sent}")
+    print(f"hits: {result.hit_count()} (rate {result.stats.hit_rate:.2%})")
+    if args.output:
+        write_hitlist(args.output, result.hits, header=f"TCP/{args.port} hits")
+        print(f"hits written -> {args.output}")
+    return 0
+
+
+def _cmd_dealias(args: argparse.Namespace) -> int:
+    hits = read_hitlist_ints(args.hits)
+    internet = _load_internet(args)
+    scanner = Scanner(internet.truth)
+    report = dealias(hits, scanner, internet.bgp, port=args.port)
+    print(f"hits in: {len(hits)}")
+    print(f"aliased /96 prefixes: {len(report.aliased_prefixes)}")
+    print(f"aliased ASNs: {sorted(report.aliased_asns) or '(none)'}")
+    print(f"aliased hits: {len(report.aliased_hits)} "
+          f"({report.aliased_fraction():.1%})")
+    print(f"clean hits: {len(report.clean_hits)}")
+    if args.output:
+        write_hitlist(args.output, report.clean_hits, header="dealiased hits")
+        print(f"clean hits written -> {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    internet = _load_internet(args)
+    seeds = collect_seeds(internet, rng_seed=args.dns_seed)
+    print(f"routed prefixes: {len(internet.bgp)}")
+    print(f"ASes: {len(internet.registry)}")
+    print(f"active hosts (TCP/80): {internet.truth.host_count(80)}")
+    print(f"aliased regions: {len(internet.truth.aliased)}")
+    print(f"seed records: {len(seeds)} (unique addresses: "
+          f"{len(seeds.addresses())})")
+    if args.output:
+        write_hitlist(args.output, seeds.addresses(), header="simulated FDNS seeds")
+        print(f"seed addresses written -> {args.output}")
+    if args.save_world:
+        from .simnet.worldfile import save_internet
+
+        save_internet(args.save_world, internet)
+        print(f"world file written -> {args.save_world}")
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from .core.feedback import run_adaptive
+
+    seeds = read_hitlist_ints(args.seeds)
+    if not seeds:
+        print("error: no seeds in input", file=sys.stderr)
+        return 1
+    internet = _load_internet(args)
+    scanner = Scanner(internet.truth)
+    result = run_adaptive(
+        seeds, scanner, args.budget, rounds=args.rounds, port=args.port
+    )
+    print(f"seeds: {len(seeds)}")
+    print(f"probes used: {result.probes_used}/{args.budget}")
+    print(f"hits: {len(result.hits)} (rate {result.hit_rate:.2%})")
+    print(f"rounds run: {result.rounds_run}")
+    for status in ("completed", "early-terminated", "alias-halted",
+                   "budget-exhausted"):
+        count = len(result.regions_with_status(status))
+        if count:
+            print(f"  regions {status}: {count}")
+    if args.output:
+        write_hitlist(args.output, result.hits, header="adaptive scan hits")
+        print(f"hits written -> {args.output}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig2": lambda a: ex.format_fig2(ex.fig2_runtime()),
+    "fig3": lambda a: ex.format_fig3(ex.fig3_asn_cdf(budget=a.budget)),
+    "table1": lambda a: ex.format_table1(ex.table1_top_ases(budget=a.budget)),
+    "tight-vs-loose": lambda a: ex.format_tight_vs_loose(
+        ex.tight_vs_loose(budget=a.budget)
+    ),
+    "fig4": lambda a: ex.format_fig4(ex.fig4_budget_sweep()),
+    "fig5": lambda a: ex.format_fig5(ex.fig5_cluster_census(budget=a.budget)),
+    "fig6": lambda a: ex.format_fig6(ex.fig6_dynamic_nybbles(budget=a.budget)),
+    "fig7": lambda a: ex.format_fig7(ex.fig7_hits_by_seeds(budget=a.budget)),
+    "table2": lambda a: ex.format_table2(ex.table2_downsampling(budget=a.budget)),
+    "ns-seeds": lambda a: ex.format_ns_experiment(
+        ex.ns_seed_experiment(budget=a.budget)
+    ),
+    "aliasing": lambda a: ex.format_aliasing_census(
+        ex.aliasing_census(budget=a.budget)
+    ),
+    "churn": lambda a: ex.format_churn(ex.churn_analysis(budget=a.budget)),
+    "fig8": lambda a: ex.format_fig8(
+        ex.fig8_traintest(dataset_size=a.dataset_size)
+    ),
+    "fig9": lambda a: ex.format_fig9(
+        ex.fig9_cdn_scan(dataset_size=a.dataset_size)
+    ),
+    "cross-protocol": lambda a: _ext().format_cross_protocol(
+        _ext().cross_protocol_experiment(budget=a.budget)
+    ),
+    "prefilter": lambda a: _ext().format_prefilter(
+        _ext().seed_prefilter_experiment(budget=a.budget)
+    ),
+    "allocation": lambda a: _ext().format_allocation(
+        _ext().budget_allocation_experiment(budget_per_prefix=a.budget // 4)
+    ),
+    "adaptive": lambda a: _ext().format_adaptive_comparison(
+        _ext().adaptive_vs_classic_experiment()
+    ),
+    "seed-types": lambda a: _ext().format_seed_types(
+        _ext().seed_type_experiment(budget=a.budget)
+    ),
+    "probe-types": lambda a: _ext().format_probe_types(
+        _ext().probe_type_experiment(budget=a.budget)
+    ),
+}
+
+
+def _ext():
+    from .analysis import extensions
+
+    return extensions
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a world file's specs without building the world."""
+    import json
+
+    from .simnet.validate import errors, validate_specs
+    from .simnet.worldfile import WorldFileError, spec_from_dict
+
+    try:
+        with open(args.world, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        specs = [spec_from_dict(d) for d in document.get("specs", [])]
+    except (OSError, json.JSONDecodeError, WorldFileError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_specs(specs)
+    for problem in problems:
+        print(problem)
+    hard = errors(problems)
+    print(
+        f"{len(specs)} specs: {len(hard)} error(s), "
+        f"{len(problems) - len(hard)} warning(s)"
+    )
+    return 1 if hard else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Run every TGA on a seed hitlist and scan their targets."""
+    from .baselines.lowbyte import run_lowbyte
+    from .baselines.mra import run_mra
+    from .baselines.random_gen import run_random
+    from .baselines.ullrich import run_ullrich
+    from .entropyip.budgeted import run_budget_aware_entropy_ip
+
+    seeds = read_hitlist_ints(args.seeds)
+    if not seeds:
+        print("error: no seeds in input", file=sys.stderr)
+        return 1
+    internet = _load_internet(args)
+    seed_set = set(seeds)
+    algorithms = [
+        ("6Gen", lambda: run_6gen(seeds, args.budget).new_targets(seeds)),
+        ("Entropy/IP", lambda: run_entropy_ip(seeds, args.budget) - seed_set),
+        (
+            "E/IP+budget",
+            lambda: run_budget_aware_entropy_ip(seeds, args.budget) - seed_set,
+        ),
+        ("Ullrich", lambda: run_ullrich(seeds, args.budget) - seed_set),
+        ("MRA", lambda: run_mra(seeds, args.budget)),
+        ("RFC7707", lambda: run_lowbyte(seeds, args.budget)),
+        ("random", lambda: run_random(seeds, args.budget)),
+    ]
+    print(f"seeds: {len(seeds)}; budget: {args.budget}; port: {args.port}\n")
+    print(f"{'algorithm':<14} {'targets':>9} {'hits':>7} {'hit rate':>9}")
+    for name, generate in algorithms:
+        targets = generate()
+        scanner = Scanner(internet.truth)
+        result = scanner.scan(targets, port=args.port)
+        print(
+            f"{name:<14} {len(targets):>9} {result.hit_count():>7} "
+            f"{result.stats.hit_rate:>9.2%}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_full_scan, standard_context
+    from .analysis.report import scan_report
+
+    context = standard_context(args.scale)
+    outcome = run_full_scan(context, args.budget)
+    text = scan_report(
+        outcome,
+        title=f"IPv6 scan report (scale {args.scale}, budget {args.budget}/prefix)",
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"report written -> {args.output}")
+    print(f"raw hits: {len(outcome.raw_hits)}, "
+          f"dealiased: {len(outcome.clean_hits)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        names = list(_EXPERIMENTS)
+    else:
+        names = [args.name]
+    for name in names:
+        print(f"=== {name} ===")
+        print(_EXPERIMENTS[name](args))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro6",
+        description=(
+            "6Gen IPv6 target generation (IMC 2017 reproduction): "
+            "TGAs, a simulated Internet, and the paper's experiments."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("6gen", help="run 6Gen on a seed hitlist")
+    p.add_argument("seeds", help="input hitlist (one IPv6 address per line)")
+    p.add_argument("output", help="output target hitlist")
+    p.add_argument("--budget", type=int, default=10_000, help="probe budget")
+    p.add_argument("--tight", action="store_true", help="use tight ranges (§5.3)")
+    p.add_argument(
+        "--ledger",
+        choices=("exact", "range-sum"),
+        default="exact",
+        help="budget accounting mode",
+    )
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.add_argument(
+        "--show-clusters", type=int, default=0, metavar="N",
+        help="print the N largest clusters",
+    )
+    p.add_argument(
+        "--ranges-output", metavar="FILE",
+        help="also write the cluster ranges as a compact range list",
+    )
+    p.set_defaults(func=_cmd_6gen)
+
+    p = sub.add_parser("entropy-ip", help="run Entropy/IP on a seed hitlist")
+    p.add_argument("seeds")
+    p.add_argument("output")
+    p.add_argument("--budget", type=int, default=10_000)
+    p.set_defaults(func=_cmd_entropy_ip)
+
+    def add_world_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--world", metavar="FILE",
+            help="load the simulated Internet from a world file",
+        )
+        parser.add_argument("--scale", type=float, default=0.3)
+        parser.add_argument("--world-seed", type=int, default=42)
+
+    p = sub.add_parser("scan", help="scan targets against the simulated Internet")
+    p.add_argument("targets")
+    p.add_argument("--output", help="write hits to this hitlist")
+    p.add_argument("--port", type=int, default=80)
+    add_world_options(p)
+    p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser("dealias", help="run §6.2 dealiasing on a hit list")
+    p.add_argument("hits")
+    p.add_argument("--output", help="write clean hits to this hitlist")
+    p.add_argument("--port", type=int, default=80)
+    add_world_options(p)
+    p.set_defaults(func=_cmd_dealias)
+
+    p = sub.add_parser("simulate", help="build the simulated Internet")
+    p.add_argument("--output", help="write seed addresses to this hitlist")
+    p.add_argument(
+        "--save-world", metavar="FILE",
+        help="write a world file reproducing this exact Internet",
+    )
+    add_world_options(p)
+    p.add_argument("--dns-seed", type=int, default=7)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "adaptive", help="scanner-integrated adaptive scan (§8 feedback loop)"
+    )
+    p.add_argument("seeds", help="input hitlist of known addresses")
+    p.add_argument("--output", help="write hits to this hitlist")
+    p.add_argument("--budget", type=int, default=10_000)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--port", type=int, default=80)
+    add_world_options(p)
+    p.set_defaults(func=_cmd_adaptive)
+
+    p = sub.add_parser("validate", help="validate a world file's network specs")
+    p.add_argument("world", help="world file to check")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "compare", help="run every TGA on a seed hitlist and scan their targets"
+    )
+    p.add_argument("seeds", help="input hitlist of known addresses")
+    p.add_argument("--budget", type=int, default=10_000)
+    p.add_argument("--port", type=int, default=80)
+    add_world_options(p)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "report", help="run the full §6 pipeline and write a markdown report"
+    )
+    p.add_argument("output", help="markdown file to write")
+    p.add_argument("--budget", type=int, default=5_000)
+    p.add_argument("--scale", type=float, default=0.2)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", choices=sorted(_EXPERIMENTS) + ["all"])
+    p.add_argument("--budget", type=int, default=ex.DEFAULT_BUDGET)
+    p.add_argument("--dataset-size", type=int, default=3_000,
+                   help="CDN dataset size for fig8/fig9")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""6Gen — the paper's target generation algorithm (§5).
+
+Public entry point: :func:`run_6gen` (or the :class:`SixGen` class for
+fine-grained control).  Clusters, growth records and budget ledgers are
+exposed for analysis code and tests.
+"""
+
+from .budget import BudgetExceeded, ExactLedger, RangeSumLedger, make_ledger
+from .candidates import SeedMatrix, find_candidates_python
+from .cluster import Cluster, Growth
+from .feedback import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    AdaptiveScanner,
+    RegionOutcome,
+    run_adaptive,
+)
+from .sixgen import SixGen, SixGenConfig, SixGenResult, run_6gen
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "AdaptiveScanner",
+    "BudgetExceeded",
+    "Cluster",
+    "ExactLedger",
+    "Growth",
+    "RangeSumLedger",
+    "RegionOutcome",
+    "SeedMatrix",
+    "SixGen",
+    "SixGenConfig",
+    "SixGenResult",
+    "find_candidates_python",
+    "make_ledger",
+    "run_6gen",
+    "run_adaptive",
+]

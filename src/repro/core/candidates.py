@@ -1,0 +1,106 @@
+"""Candidate-seed search for 6Gen (FindCandidateSeeds, §5.4).
+
+For a cluster, the candidate seeds are all seeds *outside* the cluster's
+range that are at the minimum nybble Hamming distance from it.  A seed
+lies outside the range exactly when its distance is positive, so the
+search reduces to "seeds at minimum positive distance".
+
+Two interchangeable implementations are provided:
+
+* :class:`SeedMatrix` — a vectorised search over an ``(N, 32)`` numpy
+  array of seed nybbles; distance from a range is computed with one
+  mask-membership test per position.
+* :func:`find_candidates_python` — a pure-Python reference used in
+  tests and as a fallback when numpy is unavailable.
+
+Both return candidate seeds as indices into the seed list, which keeps
+callers free to dedup by spanned range.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ipv6.distance import range_distance
+from ..ipv6.nybble import NYBBLE_COUNT
+from ..ipv6.range_ import NybbleRange
+
+
+class SeedMatrix:
+    """Seed nybbles in matrix form for vectorised distance queries."""
+
+    def __init__(self, seeds: Sequence[int]):
+        self._seeds = list(int(s) for s in seeds)
+        n = len(self._seeds)
+        nybbles = np.zeros((n, NYBBLE_COUNT), dtype=np.uint8)
+        for row, value in enumerate(self._seeds):
+            for i in range(NYBBLE_COUNT - 1, -1, -1):
+                nybbles[row, i] = value & 0xF
+                value >>= 4
+        self._nybbles = nybbles
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    @property
+    def seeds(self) -> list[int]:
+        """Seed address integers, in matrix row order."""
+        return self._seeds
+
+    def seed(self, index: int) -> int:
+        return self._seeds[index]
+
+    def distances_to_range(self, range_: NybbleRange) -> np.ndarray:
+        """Nybble Hamming distance from the range to every seed.
+
+        A position contributes zero when the seed's nybble is inside the
+        range's value mask.
+        """
+        masks = np.array(range_.masks, dtype=np.uint32)
+        member = (masks[np.newaxis, :] >> self._nybbles) & 1
+        return (NYBBLE_COUNT - member.sum(axis=1)).astype(np.int64)
+
+    def distances_to_seed(self, index: int) -> np.ndarray:
+        """Nybble Hamming distance from one seed to every seed."""
+        diff = self._nybbles != self._nybbles[index]
+        return diff.sum(axis=1).astype(np.int64)
+
+    def min_positive_candidates(self, range_: NybbleRange) -> tuple[int, list[int]]:
+        """Minimum positive distance and the indices of seeds attaining it.
+
+        Returns ``(0, [])`` when every seed already lies inside the
+        range (no candidates: the cluster contains all seeds).
+        """
+        distances = self.distances_to_range(range_)
+        positive = distances[distances > 0]
+        if positive.size == 0:
+            return 0, []
+        min_dist = int(positive.min())
+        indices = np.nonzero(distances == min_dist)[0]
+        return min_dist, [int(i) for i in indices]
+
+
+def find_candidates_python(
+    range_: NybbleRange, seeds: Sequence[int]
+) -> tuple[int, list[int]]:
+    """Pure-Python reference for :meth:`SeedMatrix.min_positive_candidates`.
+
+    Returns the minimum positive distance and the indices of the seeds
+    at that distance; ``(0, [])`` when all seeds lie inside the range.
+    """
+    min_dist = NYBBLE_COUNT + 1
+    indices: list[int] = []
+    for i, seed in enumerate(seeds):
+        dist = range_distance(range_, seed)
+        if dist == 0:
+            continue
+        if dist < min_dist:
+            min_dist = dist
+            indices = [i]
+        elif dist == min_dist:
+            indices.append(i)
+    if not indices:
+        return 0, []
+    return min_dist, indices

@@ -1,0 +1,80 @@
+"""Cluster types for 6Gen (§5.4).
+
+A cluster is defined by its *range* (the region of address space that
+encompasses its seeds) and its *seed set*.  Following the paper's space
+optimization (§5.5) we store only the range and the seed-set **size**;
+the full seed set can be reconstructed on demand from the nybble tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+from ..ipv6.nybble_tree import NybbleTree
+from ..ipv6.range_ import NybbleRange
+
+
+@dataclass
+class Cluster:
+    """One 6Gen cluster: an address range plus the count of seeds inside it."""
+
+    range: NybbleRange
+    seed_count: int
+
+    def density(self) -> Fraction:
+        """Seed density: seed-set size divided by range size (exact)."""
+        return Fraction(self.seed_count, self.range.size())
+
+    def is_singleton(self) -> bool:
+        """True if the cluster never grew beyond its founding seed."""
+        return self.range.is_singleton()
+
+    def seeds(self, tree: NybbleTree) -> Iterator[int]:
+        """Reconstruct the seed set from the seed tree (§5.5)."""
+        return tree.iter_in_range(self.range)
+
+    def __str__(self) -> str:
+        return (
+            f"Cluster({self.range.wildcard_text()}, seeds={self.seed_count}, "
+            f"size={self.range.size()})"
+        )
+
+
+@dataclass(frozen=True)
+class Growth:
+    """A candidate growth of one cluster by its nearest seed(s).
+
+    ``density`` and ``range_size`` are the *post-growth* values used for
+    the paper's selection rule: maximise density, then prefer the
+    smaller grown range, then break ties at random (via ``salt``, a
+    random number drawn when the growth is evaluated, which keeps the
+    comparison deterministic for a fixed RNG seed).
+    """
+
+    new_range: NybbleRange
+    new_seed_count: int
+    salt: float
+
+    @property
+    def range_size(self) -> int:
+        return self.new_range.size()
+
+    def density(self) -> Fraction:
+        return Fraction(self.new_seed_count, self.new_range.size())
+
+    def sort_key(self) -> tuple[Fraction, int, float]:
+        """Key such that the best growth is the *maximum*.
+
+        Higher density wins; among equal densities the smaller grown
+        range wins (less budget); remaining ties break on the random
+        salt.  The key is cached: the selection loop compares every
+        cluster's cached growth each iteration, and rebuilding big-int
+        Fractions dominated the profile before caching.
+        """
+        cached = getattr(self, "_key", None)
+        if cached is None:
+            cached = (self.density(), -self.new_range.size(), self.salt)
+            object.__setattr__(self, "_key", cached)
+        return cached

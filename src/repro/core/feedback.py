@@ -1,0 +1,244 @@
+"""Scanner-integrated adaptive target generation (paper §8, future work).
+
+The paper closes by arguing for "tight integration between the target
+generation and the scanning processes": feed scan results back into the
+generator, early-terminate regions that yield few hosts, test
+high-hit-rate regions for aliasing mid-scan, and reallocate the freed
+budget to promising networks.  This module implements that loop:
+
+1. 6Gen proposes candidate regions (clusters) ranked by seed density;
+2. the scanner probes each region in batches, tracking per-region hit
+   rates;
+3. a region is **early-terminated** when its hit rate stays below a
+   floor after a trial quota, and **alias-halted** when its rate is
+   near-perfect and the region's covering prefix answers random probes
+   (the §6.2 test applied mid-scan);
+4. unused budget flows to the next regions, and discovered hits can
+   seed another generation round.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..ipv6.prefix import Prefix
+from ..ipv6.range_ import NybbleRange
+from ..scanner.engine import Scanner
+from .sixgen import run_6gen
+
+
+@dataclass
+class AdaptiveConfig:
+    """Tuning knobs for the feedback loop."""
+
+    total_budget: int
+    #: Probes sent to a region between hit-rate evaluations.
+    batch_size: int = 128
+    #: Probes a region gets before it can be early-terminated.
+    trial_quota: int = 128
+    #: Regions with a hit rate below this floor after the trial quota
+    #: are abandoned (the §8 early-termination).
+    low_rate_floor: float = 0.02
+    #: Regions with a hit rate above this ceiling are alias-tested.
+    alias_rate_ceiling: float = 0.95
+    #: Number of generation→scan rounds (hits re-seed the next round).
+    rounds: int = 2
+    #: Per-round 6Gen budget cap as a multiple of remaining scan budget.
+    generation_headroom: float = 1.0
+    port: int = 80
+    rng_seed: int | None = 0
+
+
+@dataclass
+class RegionOutcome:
+    """What happened to one candidate region during the scan."""
+
+    range: NybbleRange
+    probes: int = 0
+    hits: int = 0
+    status: str = "pending"  # completed | early-terminated | alias-halted | budget-exhausted
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of a full adaptive scan."""
+
+    hits: set[int] = field(default_factory=set)
+    probes_used: int = 0
+    regions: list[RegionOutcome] = field(default_factory=list)
+    aliased_regions: list[NybbleRange] = field(default_factory=list)
+    rounds_run: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return len(self.hits) / self.probes_used if self.probes_used else 0.0
+
+    def regions_with_status(self, status: str) -> list[RegionOutcome]:
+        return [r for r in self.regions if r.status == status]
+
+
+def covering_prefix_of_range(range_: NybbleRange) -> Prefix:
+    """The CIDR prefix spanned by a range's fixed leading nybbles."""
+    fixed_count = 0
+    value = 0
+    for mask in range_.masks:
+        if mask.bit_count() != 1:
+            break
+        value = (value << 4) | mask.bit_length() - 1
+        fixed_count += 1
+    length = 4 * fixed_count
+    network = value << (128 - length) if length else 0
+    return Prefix(network, length)
+
+
+class AdaptiveScanner:
+    """The §8 feedback loop: generate → scan → adapt → re-seed."""
+
+    def __init__(self, scanner: Scanner, config: AdaptiveConfig):
+        if config.total_budget < 0:
+            raise ValueError(f"budget must be non-negative: {config.total_budget}")
+        self.scanner = scanner
+        self.config = config
+        self.rng = random.Random(config.rng_seed)
+
+    # -- alias testing --------------------------------------------------------
+    def _region_is_aliased(self, range_: NybbleRange) -> bool:
+        """The §6.2 random-probe test applied around a suspicious region.
+
+        Probes random addresses *outside* the already-scanned range but
+        inside a slightly wider prefix (one nybble up from the range's
+        covering prefix).  A dense block of genuine hosts is silent out
+        there; an aliased prefix answers everywhere.  Regions whose
+        widened prefix would be shorter than /64 are never classified
+        aliased — at that width the test would probe unrelated networks.
+        """
+        prefix = covering_prefix_of_range(range_).supernet(
+            max(covering_prefix_of_range(range_).length - 4, 0)
+        )
+        if prefix.length < 64:
+            return False
+        for _ in range(3):
+            probe_addr = None
+            for _ in range(64):  # rejection-sample outside the range
+                candidate = prefix.random_address(self.rng).value
+                if not range_.contains(candidate):
+                    probe_addr = candidate
+                    break
+            if probe_addr is None:
+                return False  # the range fills its prefix: inconclusive
+            if not any(
+                self.scanner.probe(probe_addr, self.config.port) for _ in range(3)
+            ):
+                return False
+        return True
+
+    # -- region scanning ------------------------------------------------------
+    def _iter_region_targets(self, range_: NybbleRange, cap: int) -> Iterable[int]:
+        """Up to ``cap`` shuffled targets from a region."""
+        size = range_.size()
+        if size <= 4 * cap or size <= 65536:
+            targets = list(range_.iter_ints())
+            self.rng.shuffle(targets)
+            return targets[:cap]
+        return range_.sample_ints(cap, self.rng)
+
+    def _scan_region(
+        self,
+        outcome: RegionOutcome,
+        result: AdaptiveResult,
+        skip: set[int],
+    ) -> None:
+        config = self.config
+        remaining = config.total_budget - result.probes_used
+        if remaining <= 0:
+            outcome.status = "budget-exhausted"
+            return
+        targets = [
+            t for t in self._iter_region_targets(outcome.range, remaining)
+            if t not in skip
+        ]
+        batch_start = 0
+        while batch_start < len(targets):
+            batch = targets[batch_start : batch_start + config.batch_size]
+            batch_start += len(batch)
+            for addr in batch:
+                if result.probes_used >= config.total_budget:
+                    outcome.status = "budget-exhausted"
+                    return
+                result.probes_used += 1
+                outcome.probes += 1
+                skip.add(addr)
+                if self.scanner.probe(addr, config.port):
+                    outcome.hits += 1
+                    result.hits.add(addr)
+            if outcome.probes >= config.trial_quota:
+                if outcome.hit_rate < config.low_rate_floor:
+                    outcome.status = "early-terminated"
+                    return
+                if outcome.hit_rate > config.alias_rate_ceiling:
+                    if self._region_is_aliased(outcome.range):
+                        outcome.status = "alias-halted"
+                        result.aliased_regions.append(outcome.range)
+                        return
+        outcome.status = "completed"
+
+    # -- driver ----------------------------------------------------------------
+    def run(self, seeds: Sequence[int]) -> AdaptiveResult:
+        """Run the full adaptive loop from an initial seed set."""
+        config = self.config
+        result = AdaptiveResult()
+        current_seeds = sorted({int(s) for s in seeds})
+        probed: set[int] = set(current_seeds)
+
+        for round_index in range(config.rounds):
+            remaining = config.total_budget - result.probes_used
+            if remaining <= 0 or not current_seeds:
+                break
+            result.rounds_run += 1
+            generation_budget = int(remaining * config.generation_headroom)
+            generated = run_6gen(
+                current_seeds, generation_budget, rng_seed=config.rng_seed
+            )
+            # Rank candidate regions by seed density, densest first —
+            # the scan order that maximises early discoveries.
+            regions = sorted(
+                (c for c in generated.clusters if not c.is_singleton()),
+                key=lambda c: (-c.density(), c.range.size()),
+            )
+            aliased_so_far = list(result.aliased_regions)
+            for cluster in regions:
+                if any(cluster.range.is_subset(a) for a in aliased_so_far):
+                    continue  # never rescan inside known-aliased space
+                outcome = RegionOutcome(range=cluster.range)
+                result.regions.append(outcome)
+                self._scan_region(outcome, result, probed)
+                if result.probes_used >= config.total_budget:
+                    break
+            # Feedback: the non-aliased hits become next round's seeds.
+            new_seeds = {
+                h
+                for h in result.hits
+                if not any(r.contains(h) for r in result.aliased_regions)
+            }
+            next_seeds = sorted(set(current_seeds) | new_seeds)
+            if next_seeds == current_seeds:
+                break  # nothing learned; further rounds would repeat
+            current_seeds = next_seeds
+        return result
+
+
+def run_adaptive(
+    seeds: Sequence[int] | Iterable[int],
+    scanner: Scanner,
+    total_budget: int,
+    **kwargs,
+) -> AdaptiveResult:
+    """Convenience wrapper around :class:`AdaptiveScanner`."""
+    config = AdaptiveConfig(total_budget=total_budget, **kwargs)
+    return AdaptiveScanner(scanner, config).run([int(s) for s in seeds])

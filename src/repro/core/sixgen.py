@@ -1,0 +1,312 @@
+"""The 6Gen target generation algorithm (paper §5).
+
+6Gen clusters similar seeds into dense address-space regions and emits
+the addresses within those regions as scan targets, constrained by a
+probe budget.  The implementation follows Algorithm 1 plus the two §5.5
+optimizations:
+
+* per-cluster growth caching — clusters grow independently, so a
+  cluster's best growth only needs recomputing after that cluster
+  itself grows;
+* a 16-ary nybble tree for reconstructing/counting a grown cluster's
+  seed set, instead of scanning the full seed list.
+
+Selection rule per iteration (§5.4): among all (cluster, candidate
+seed) growth options, take the one with the highest post-growth seed
+density; ties prefer the smaller grown range (budget conservation);
+remaining ties break at random.
+
+Termination: the budget is consumed exactly (an unaffordable best
+growth is satisfied partially by random sampling from its new region),
+or all seeds end up in a single cluster.  Note a deliberate deviation
+from the *simplified* pseudocode: Algorithm 1 as printed discards the
+growth that would unify all seeds, which would prevent any 2-seed
+network from ever growing a cluster — contradicting both the prose
+("iterates until … all seeds belong to a single cluster") and Figure 5b
+(most 2–10-seed prefixes have grown clusters).  We apply the unifying
+growth (budget permitting) and then stop.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..ipv6.nybble_tree import NybbleTree
+from ..ipv6.range_ import NybbleRange
+from .budget import BudgetExceeded, ExactLedger, make_ledger
+from .candidates import SeedMatrix, find_candidates_python
+from .cluster import Cluster, Growth
+
+
+@dataclass
+class SixGenConfig:
+    """Tuning knobs for a 6Gen run.
+
+    budget
+        Probe budget: the maximum number of *new* (non-seed) addresses
+        the clusters may cover.
+    loose
+        Range granularity (§5.3): ``True`` for full-wildcard nybbles
+        (the paper's default after §6.3), ``False`` for tight
+        value-set nybbles.
+    ledger
+        ``"exact"`` for unique-address budget accounting (§5.4),
+        ``"range-sum"`` for the simplified Algorithm 1 cost model.
+    use_seed_matrix
+        Use the vectorised numpy candidate search (§5.5 analogue of the
+        paper's OpenMP parallelism); the pure-Python path is kept for
+        testing and tiny inputs.
+    use_growth_cache
+        Cache each cluster's best growth between iterations (§5.5).
+        Disabling recomputes every cluster every iteration (the naive
+        algorithm) — used by the caching ablation benchmark.
+    rng_seed
+        Seed for the tie-breaking / sampling RNG, for reproducible runs.
+    """
+
+    budget: int
+    loose: bool = True
+    ledger: str = "exact"
+    use_seed_matrix: bool = True
+    use_growth_cache: bool = True
+    rng_seed: int | None = 0
+
+
+@dataclass
+class SixGenResult:
+    """Outcome of a 6Gen run."""
+
+    clusters: list[Cluster]
+    seed_count: int
+    budget_limit: int
+    budget_used: int
+    iterations: int
+    sampled: list[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    _targets: set[int] | None = None
+
+    def singleton_clusters(self) -> list[Cluster]:
+        """Clusters that never grew past their founding seed (Fig. 5a)."""
+        return [c for c in self.clusters if c.is_singleton()]
+
+    def grown_clusters(self) -> list[Cluster]:
+        """Clusters that grew to cover a region (Fig. 5b)."""
+        return [c for c in self.clusters if not c.is_singleton()]
+
+    def target_count(self) -> int:
+        """Number of distinct generated targets (seeds included)."""
+        return len(self.target_set())
+
+    def target_set(self) -> set[int]:
+        """All distinct generated target addresses, seeds included."""
+        if self._targets is None:
+            targets: set[int] = set(self.sampled)
+            for cluster in self.clusters:
+                targets.update(cluster.range.iter_ints())
+            self._targets = targets
+        return self._targets
+
+    def iter_targets(self) -> Iterator[int]:
+        """Iterate distinct generated targets (order unspecified)."""
+        return iter(self.target_set())
+
+    def new_targets(self, seeds: Iterable[int]) -> set[int]:
+        """Generated targets excluding the given (seed) addresses."""
+        return self.target_set() - set(int(s) for s in seeds)
+
+    def iter_targets_by_density(self) -> Iterator[int]:
+        """Stream targets densest-cluster-first (for partial scans).
+
+        Clusters are emitted in descending seed density (ties: smaller
+        range first), deduplicating overlap; the final-growth sampled
+        addresses come last.  Cutting this stream at any point yields
+        the best available target list of that size under 6Gen's own
+        density assumption.
+        """
+        emitted: set[int] = set()
+        ordered = sorted(
+            self.clusters, key=lambda c: (-c.density(), c.range.size())
+        )
+        for cluster in ordered:
+            for addr in cluster.range.iter_ints():
+                if addr not in emitted:
+                    emitted.add(addr)
+                    yield addr
+        for addr in self.sampled:
+            if addr not in emitted:
+                emitted.add(addr)
+                yield addr
+
+    def dynamic_nybble_indices(self) -> set[int]:
+        """Union of dynamic nybble positions across cluster ranges (Fig. 6)."""
+        indices: set[int] = set()
+        for cluster in self.clusters:
+            indices.update(cluster.range.dynamic_positions())
+        return indices
+
+
+class SixGen:
+    """A single 6Gen run over one seed set (typically one routed prefix)."""
+
+    def __init__(self, seeds: Sequence[int], config: SixGenConfig):
+        self.config = config
+        self.seeds = sorted(set(int(s) for s in seeds))
+        self.rng = random.Random(config.rng_seed)
+        self.tree = NybbleTree(self.seeds)
+        self.matrix = SeedMatrix(self.seeds) if config.use_seed_matrix else None
+        self.ledger = make_ledger(config.ledger, config.budget, self.seeds)
+        self._clusters: dict[int, Cluster] = {}
+        self._best: dict[int, Growth | None] = {}
+        self._singleton_by_seed: dict[int, int] = {}
+        self._next_id = 0
+        self.iterations = 0
+
+    # -- internals ---------------------------------------------------------
+    def _find_candidates(self, range_: NybbleRange) -> list[int]:
+        """Indices of seeds at minimum positive distance from the range."""
+        if self.matrix is not None:
+            _, indices = self.matrix.min_positive_candidates(range_)
+        else:
+            _, indices = find_candidates_python(range_, self.seeds)
+        return indices
+
+    def _evaluate(self, cluster: Cluster) -> Growth | None:
+        """Best growth for one cluster, or ``None`` if it holds all seeds.
+
+        For each candidate seed the grown range may encapsulate further
+        seeds; the post-growth seed-set size is counted with the nybble
+        tree, so absorbed seeds (candidate or not) are included.
+        """
+        indices = self._find_candidates(cluster.range)
+        if not indices:
+            return None
+        best: Growth | None = None
+        seen_ranges: set[tuple[int, ...]] = set()
+        for idx in indices:
+            new_range = cluster.range.span(self.seeds[idx], loose=self.config.loose)
+            if new_range.masks in seen_ranges:
+                continue
+            seen_ranges.add(new_range.masks)
+            count = self.tree.count_in_range(new_range)
+            growth = Growth(new_range, count, self.rng.random())
+            if best is None or growth.sort_key() > best.sort_key():
+                best = growth
+        return best
+
+    def _init_clusters(self) -> None:
+        """One singleton cluster per seed (Function InitClusters)."""
+        for seed in self.seeds:
+            cid = self._next_id
+            self._next_id += 1
+            self._clusters[cid] = Cluster(NybbleRange.from_address(seed), 1)
+            self._singleton_by_seed[seed] = cid
+        for cid, cluster in self._clusters.items():
+            self._best[cid] = self._evaluate(cluster)
+
+    def _select_growth(self) -> tuple[int, Growth] | None:
+        """The best (cluster, growth) pair this iteration, if any."""
+        best_cid: int | None = None
+        best_growth: Growth | None = None
+        for cid, growth in self._best.items():
+            if growth is None:
+                continue
+            if best_growth is None or growth.sort_key() > best_growth.sort_key():
+                best_cid, best_growth = cid, growth
+        if best_cid is None or best_growth is None:
+            return None
+        return best_cid, best_growth
+
+    def _apply_growth(self, cid: int, growth: Growth) -> None:
+        """Replace the cluster, drop encapsulated clusters, refresh caches."""
+        self._clusters[cid] = Cluster(growth.new_range, growth.new_seed_count)
+        # Encapsulated singleton clusters are exactly the singletons
+        # whose founding seed lies in the grown range — found via the
+        # seed trie instead of an is_subset scan over every cluster.
+        # (The grown cluster itself also leaves the singleton map here.)
+        doomed: list[int] = []
+        for seed in self.tree.iter_in_range(growth.new_range):
+            oid = self._singleton_by_seed.pop(seed, None)
+            if oid is not None and oid != cid:
+                doomed.append(oid)
+        # Grown clusters are few; check them directly.
+        for oid, other in self._clusters.items():
+            if oid != cid and not other.range.is_singleton():
+                if other.range.is_subset(growth.new_range):
+                    doomed.append(oid)
+        for oid in doomed:
+            del self._clusters[oid]
+            del self._best[oid]
+        if self.config.use_growth_cache:
+            self._best[cid] = self._evaluate(self._clusters[cid])
+        else:
+            for oid, cluster in self._clusters.items():
+                self._best[oid] = self._evaluate(cluster)
+
+    # -- driver --------------------------------------------------------------
+    def run(self) -> SixGenResult:
+        """Execute 6Gen to completion and return the clusters and targets."""
+        start = time.perf_counter()
+        sampled: list[int] = []
+        if self.seeds:
+            self._init_clusters()
+            while True:
+                selected = self._select_growth()
+                if selected is None:
+                    break  # every remaining cluster already holds all seeds
+                cid, growth = selected
+                old_range = self._clusters[cid].range
+                try:
+                    self.ledger.try_charge(growth.new_range, old_range)
+                except BudgetExceeded:
+                    sampled = self.ledger.charge_partial(
+                        growth.new_range, old_range, self.rng
+                    )
+                    break
+                self.iterations += 1
+                self._apply_growth(cid, growth)
+                if growth.new_seed_count == len(self.seeds):
+                    break  # all seeds unified into a single cluster
+
+        result = SixGenResult(
+            clusters=list(self._clusters.values()),
+            seed_count=len(self.seeds),
+            budget_limit=self.config.budget,
+            budget_used=self.ledger.used,
+            iterations=self.iterations,
+            sampled=sampled,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        if isinstance(self.ledger, ExactLedger):
+            # The exact ledger already knows the deduplicated target set.
+            result._targets = set(self.ledger.covered())
+        return result
+
+
+def run_6gen(
+    seeds: Sequence[int] | Iterable[int],
+    budget: int,
+    *,
+    loose: bool = True,
+    ledger: str = "exact",
+    use_seed_matrix: bool = True,
+    use_growth_cache: bool = True,
+    rng_seed: int | None = 0,
+) -> SixGenResult:
+    """Convenience wrapper: run 6Gen on a seed set with a probe budget.
+
+    ``seeds`` may be address integers or :class:`~repro.ipv6.IPv6Addr`
+    instances.  Returns a :class:`SixGenResult`; call
+    :meth:`~SixGenResult.target_set` for the generated scan targets.
+    """
+    config = SixGenConfig(
+        budget=budget,
+        loose=loose,
+        ledger=ledger,
+        use_seed_matrix=use_seed_matrix,
+        use_growth_cache=use_growth_cache,
+        rng_seed=rng_seed,
+    )
+    return SixGen([int(s) for s in seeds], config).run()

@@ -1,0 +1,40 @@
+"""Datasets: synthetic CDN seed sets (§7) and hitlist file I/O."""
+
+from .cdn import (
+    DATASET_SIZE,
+    CdnDataset,
+    all_cdns,
+    build_cdn,
+    build_cdn1,
+    build_cdn2,
+    build_cdn3,
+    build_cdn4,
+    build_cdn5,
+)
+from .hitlist import (
+    iter_hitlist_file,
+    read_hitlist,
+    read_hitlist_ints,
+    write_hitlist,
+)
+from .rangelist import expand_ranges, read_rangelist, total_size, write_rangelist
+
+__all__ = [
+    "CdnDataset",
+    "DATASET_SIZE",
+    "all_cdns",
+    "build_cdn",
+    "build_cdn1",
+    "build_cdn2",
+    "build_cdn3",
+    "build_cdn4",
+    "build_cdn5",
+    "expand_ranges",
+    "iter_hitlist_file",
+    "read_hitlist",
+    "read_hitlist_ints",
+    "read_rangelist",
+    "total_size",
+    "write_hitlist",
+    "write_rangelist",
+]

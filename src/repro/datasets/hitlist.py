@@ -1,0 +1,50 @@
+"""Hitlist file I/O: plain-text address lists with comments.
+
+The interchange format used by real TGA tooling (and by this repo's
+CLI): one IPv6 address per line, ``#`` comments and blank lines
+ignored.  Writers emit RFC 5952 canonical form.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+from ..ipv6.address import IPv6Addr, iter_hitlist
+
+
+def read_hitlist(path: str | os.PathLike) -> list[IPv6Addr]:
+    """Read all addresses from a hitlist file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_hitlist(handle))
+
+
+def read_hitlist_ints(path: str | os.PathLike) -> list[int]:
+    """Read addresses as integers (the internal representation)."""
+    return [a.value for a in read_hitlist(path)]
+
+
+def iter_hitlist_file(path: str | os.PathLike) -> Iterator[IPv6Addr]:
+    """Stream addresses from a hitlist file without loading it whole."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from iter_hitlist(handle)
+
+
+def write_hitlist(
+    path: str | os.PathLike,
+    addrs: Iterable[int | IPv6Addr],
+    *,
+    header: str | None = None,
+) -> int:
+    """Write addresses (sorted, deduplicated) to a hitlist file.
+
+    Returns the number of addresses written.
+    """
+    values = sorted({int(a) for a in addrs})
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for value in values:
+            handle.write(IPv6Addr(value).compressed() + "\n")
+    return len(values)

@@ -1,0 +1,81 @@
+"""Range-list file I/O: compact wildcard-range target lists.
+
+A 6Gen run with a million-probe budget produces a million-line hitlist
+— but only a handful of cluster *ranges*.  This module reads and writes
+the compact form (one wildcard range per line, the paper's §2 notation,
+``#`` comments allowed) and expands range lists back into addresses
+under a cap.
+
+Example file::
+
+    # 6Gen clusters, budget 1000000
+    2001:db8::?:100?
+    2600:9000:1::[0-3]?
+    2a01:4f8:0:1::7
+
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+from ..ipv6.range_ import NybbleRange
+
+
+def read_rangelist(path: str | os.PathLike) -> list[NybbleRange]:
+    """Read all ranges from a range-list file."""
+    ranges = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                ranges.append(NybbleRange.parse(line))
+    return ranges
+
+
+def write_rangelist(
+    path: str | os.PathLike,
+    ranges: Iterable[NybbleRange],
+    *,
+    header: str | None = None,
+) -> int:
+    """Write ranges (deduplicated, sorted by text) to a range-list file.
+
+    Returns the number of ranges written.
+    """
+    unique = sorted({r.wildcard_text() for r in ranges})
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for text in unique:
+            handle.write(text + "\n")
+    return len(unique)
+
+
+def expand_ranges(
+    ranges: Iterable[NybbleRange], *, limit: int | None = None
+) -> Iterator[int]:
+    """Expand ranges into distinct addresses, optionally capped.
+
+    Ranges are expanded in the given order; overlapping ranges emit
+    each address once.  With a ``limit``, expansion stops exactly there
+    — pair with :func:`total_size` to check feasibility first.
+    """
+    seen: set[int] = set()
+    emitted = 0
+    for range_ in ranges:
+        for addr in range_.iter_ints():
+            if addr in seen:
+                continue
+            seen.add(addr)
+            yield addr
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+
+def total_size(ranges: Iterable[NybbleRange]) -> int:
+    """Upper bound on the number of addresses (overlaps not deducted)."""
+    return sum(r.size() for r in ranges)

@@ -1,0 +1,52 @@
+"""Per-nybble entropy analysis (Entropy/IP stage 1).
+
+Entropy/IP (Foremski et al., IMC 2016 — the paper's comparison TGA)
+starts by measuring, for each of the 32 nybble positions, the Shannon
+entropy of the values observed across the seed set, normalised to
+``[0, 1]`` by the 4-bit maximum.  Flat positions (entropy ≈ 0) are
+structural constants; high-entropy positions look random; mid-range
+positions carry the learnable structure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from ..ipv6.nybble import NYBBLE_COUNT
+
+
+def nybble_value_counts(seeds: Sequence[int]) -> list[Counter]:
+    """Per-position histograms of nybble values across the seed set."""
+    counters: list[Counter] = [Counter() for _ in range(NYBBLE_COUNT)]
+    for seed in seeds:
+        value = int(seed)
+        for i in range(NYBBLE_COUNT - 1, -1, -1):
+            counters[i][value & 0xF] += 1
+            value >>= 4
+    return counters
+
+
+def shannon_entropy(counts: Counter) -> float:
+    """Shannon entropy in bits of a value histogram."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        if count:
+            p = count / total
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def nybble_entropies(seeds: Sequence[int]) -> list[float]:
+    """Normalised per-nybble entropies (0 = constant, 1 = uniform random).
+
+    This is the curve Entropy/IP plots and segments; 4 bits of entropy
+    normalises to 1.0.
+    """
+    if not seeds:
+        raise ValueError("entropy analysis requires at least one seed")
+    return [shannon_entropy(c) / 4.0 for c in nybble_value_counts(seeds)]

@@ -1,0 +1,85 @@
+"""Address segmentation (Entropy/IP stage 2).
+
+Entropy/IP groups *adjacent nybbles whose values have similar levels of
+entropy* into segments (paper §3.3).  A new segment starts whenever the
+entropy steps by more than a threshold relative to the running segment,
+or when the current segment reaches a maximum width (wide segments make
+the downstream value model too sparse to estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ipv6.nybble import NYBBLE_COUNT
+from .entropy import nybble_entropies
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A run of adjacent nybble positions treated as one model variable."""
+
+    start: int  # first nybble index (inclusive)
+    end: int  # last nybble index (exclusive)
+    mean_entropy: float
+
+    @property
+    def width(self) -> int:
+        """Number of nybbles in the segment."""
+        return self.end - self.start
+
+    def extract(self, addr: int) -> int:
+        """The segment's value within an address, as an integer."""
+        value = int(addr)
+        shift = 4 * (NYBBLE_COUNT - self.end)
+        return (value >> shift) & ((1 << (4 * self.width)) - 1)
+
+    def insert(self, addr: int, segment_value: int) -> int:
+        """Return ``addr`` with this segment's nybbles set to ``segment_value``."""
+        width_mask = (1 << (4 * self.width)) - 1
+        if not 0 <= segment_value <= width_mask:
+            raise ValueError(
+                f"segment value {segment_value:#x} out of range for width {self.width}"
+            )
+        shift = 4 * (NYBBLE_COUNT - self.end)
+        return (int(addr) & ~(width_mask << shift)) | (segment_value << shift)
+
+    def __str__(self) -> str:
+        return f"Segment[{self.start}:{self.end}] H={self.mean_entropy:.3f}"
+
+
+def segment_positions(
+    entropies: Sequence[float],
+    threshold: float = 0.1,
+    max_width: int = 4,
+) -> list[Segment]:
+    """Split the 32 nybble positions into entropy-homogeneous segments.
+
+    A segment grows while each next position's entropy stays within
+    ``threshold`` of the segment's running mean and the segment is
+    narrower than ``max_width`` nybbles.
+    """
+    if len(entropies) != NYBBLE_COUNT:
+        raise ValueError(f"expected {NYBBLE_COUNT} entropies, got {len(entropies)}")
+    if max_width < 1:
+        raise ValueError(f"max_width must be positive: {max_width}")
+    segments: list[Segment] = []
+    start = 0
+    total = entropies[0]
+    for i in range(1, NYBBLE_COUNT):
+        width = i - start
+        mean = total / width
+        if abs(entropies[i] - mean) > threshold or width >= max_width:
+            segments.append(Segment(start, i, mean))
+            start = i
+            total = entropies[i]
+        else:
+            total += entropies[i]
+    segments.append(Segment(start, NYBBLE_COUNT, total / (NYBBLE_COUNT - start)))
+    return segments
+
+
+def segment_addresses(seeds: Sequence[int], **kwargs) -> list[Segment]:
+    """Convenience: entropy analysis + segmentation in one call."""
+    return segment_positions(nybble_entropies(seeds), **kwargs)

@@ -1,0 +1,30 @@
+"""IPv6 address primitives: addresses, prefixes, nybble ranges, and tries.
+
+This subpackage is the substrate the rest of the reproduction builds on.
+See the module docstrings for details; the most commonly used names are
+re-exported here.
+"""
+
+from .address import AddressError, IPv6Addr, iter_hitlist, parse_hitlist_line
+from .distance import addr_distance, bit_distance, range_distance
+from .nybble import NYBBLE_COUNT
+from .nybble_tree import NybbleTree
+from .prefix import Prefix, PrefixError
+from .range_ import NybbleRange, RangeError, spanning_range
+
+__all__ = [
+    "AddressError",
+    "IPv6Addr",
+    "NYBBLE_COUNT",
+    "NybbleRange",
+    "NybbleTree",
+    "Prefix",
+    "PrefixError",
+    "RangeError",
+    "addr_distance",
+    "bit_distance",
+    "iter_hitlist",
+    "parse_hitlist_line",
+    "range_distance",
+    "spanning_range",
+]

@@ -1,0 +1,257 @@
+"""IPv6 address type with nybble-level accessors.
+
+Addresses are represented by :class:`IPv6Addr`, a thin immutable wrapper
+around a 128-bit integer.  Parsing and formatting implement RFC 4291
+text forms and RFC 5952 canonical compression (longest run of all-zero
+hextets replaced by ``::``, ties broken toward the leftmost run, runs of
+a single zero hextet never compressed).
+
+We implement parsing from scratch (rather than deferring to the stdlib
+``ipaddress`` module) because the rest of the code base extends the same
+grammar with the paper's wildcard notation (see :mod:`repro.ipv6.range_`);
+tests cross-validate against ``ipaddress``.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from typing import Iterable, Iterator
+
+from . import nybble as nyb
+from .nybble import HEXTET_COUNT, MAX_ADDRESS
+
+
+class AddressError(ValueError):
+    """Raised for malformed IPv6 address text or out-of-range values."""
+
+
+_HEXTET_RE = re.compile(r"^[0-9a-fA-F]{1,4}$")
+
+
+def _parse_hextet(text: str) -> int:
+    if not _HEXTET_RE.match(text):
+        raise AddressError(f"invalid hextet: {text!r}")
+    return int(text, 16)
+
+
+def parse_address_int(text: str) -> int:
+    """Parse IPv6 text (full or ``::``-compressed) into a 128-bit integer.
+
+    Embedded IPv4 dotted-quad suffixes (e.g. ``::ffff:1.2.3.4``) are
+    accepted, mirroring RFC 4291 §2.2 form 3.
+    """
+    text = text.strip()
+    if not text:
+        raise AddressError("empty address")
+    if "%" in text:  # zone identifiers are not meaningful for scanning
+        raise AddressError(f"zone identifiers not supported: {text!r}")
+
+    # Handle an embedded IPv4 dotted quad in the final position: split it
+    # off and parse the rest as a (two-groups-shorter) IPv6 head.
+    v4_tail: list[int] = []
+    if "." in text:
+        head, sep, quad = text.rpartition(":")
+        if not sep:
+            raise AddressError(f"invalid IPv4-embedded address: {text!r}")
+        parts = quad.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"invalid embedded IPv4: {quad!r}")
+        octets = []
+        for p in parts:
+            if not p.isdigit() or (len(p) > 1 and p[0] == "0") or int(p) > 255:
+                raise AddressError(f"invalid embedded IPv4 octet: {p!r}")
+            octets.append(int(p))
+        v4_tail = [(octets[0] << 8) | octets[1], (octets[2] << 8) | octets[3]]
+        # ``head`` lost the colon separating it from the quad.  If it now
+        # ends with ":", that colon was the first half of a "::" — put the
+        # second half back so compression parsing still sees it.
+        if not head:
+            raise AddressError(f"invalid IPv4-embedded address: {text!r}")
+        text = head + ":" if head.endswith(":") else head
+
+    if text.count("::") > 1:
+        raise AddressError(f"multiple '::' in address: {text!r}")
+
+    group_target = HEXTET_COUNT - len(v4_tail)
+
+    if "::" in text:
+        left_text, right_text = text.split("::", 1)
+        # Reject stray single colons at the edges, e.g. ":1::2" / "1::2:".
+        if left_text.startswith(":") or right_text.endswith(":"):
+            raise AddressError(f"invalid colon placement: {text!r}")
+        left = [_parse_hextet(h) for h in left_text.split(":")] if left_text else []
+        right = [_parse_hextet(h) for h in right_text.split(":")] if right_text else []
+        fill = group_target - len(left) - len(right)
+        if fill < 1:
+            raise AddressError(f"'::' must replace at least one group: {text!r}")
+        hextets = left + [0] * fill + right + v4_tail
+    else:
+        parts = text.split(":") if text else []
+        hextets = [_parse_hextet(h) for h in parts] + v4_tail
+        if len(hextets) != HEXTET_COUNT:
+            raise AddressError(
+                f"expected {HEXTET_COUNT} groups, got {len(hextets)}: {text!r}"
+            )
+
+    value = 0
+    for h in hextets:
+        value = (value << 16) | h
+    return value
+
+
+def format_address_int(value: int, compress: bool = True) -> str:
+    """Format a 128-bit integer as IPv6 text.
+
+    With ``compress=True`` produces the RFC 5952 canonical form;
+    otherwise all eight hextets are printed (leading zeros still
+    dropped per RFC 5952 §4.1).
+    """
+    if not 0 <= value <= MAX_ADDRESS:
+        raise AddressError(f"address integer out of range: {value}")
+    hextets = [(value >> (16 * i)) & 0xFFFF for i in range(HEXTET_COUNT - 1, -1, -1)]
+    if not compress:
+        return ":".join(format(h, "x") for h in hextets)
+
+    # Locate the longest run of zero hextets (leftmost wins ties).
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for i, h in enumerate(hextets + [1]):  # sentinel terminates final run
+        if h == 0:
+            if run_len == 0:
+                run_start = i
+            run_len += 1
+        else:
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+            run_len = 0
+    if best_len < 2:  # RFC 5952 §4.2.2: never compress a single group
+        return ":".join(format(h, "x") for h in hextets)
+    left = ":".join(format(h, "x") for h in hextets[:best_start])
+    right = ":".join(format(h, "x") for h in hextets[best_start + best_len:])
+    return f"{left}::{right}"
+
+
+@functools.total_ordering
+class IPv6Addr:
+    """An immutable IPv6 address with nybble-level accessors.
+
+    Construct from an integer, text, or 32 nybbles::
+
+        IPv6Addr(0x20010db8 << 96)
+        IPv6Addr.parse("2001:db8::1")
+        IPv6Addr.from_nybbles([2, 0, 0, 1, ...])
+
+    Instances order and hash by their integer value, so they can be
+    freely mixed in sets with plain ints where convenient (they are not
+    equal to ints, however — comparisons with non-addresses return
+    ``NotImplemented``).
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise TypeError(f"IPv6Addr expects an int, got {type(value).__name__}")
+        if not 0 <= value <= MAX_ADDRESS:
+            raise AddressError(f"address integer out of range: {value}")
+        object.__setattr__(self, "_value", value)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("IPv6Addr is immutable")
+
+    def __reduce__(self):
+        # immutability guard blocks default unpickling; rebuild via ctor
+        return (IPv6Addr, (self._value,))
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Addr":
+        """Parse IPv6 text into an address."""
+        return cls(parse_address_int(text))
+
+    @classmethod
+    def from_nybbles(cls, nybbles: Iterable[int]) -> "IPv6Addr":
+        """Build an address from 32 nybble values, most significant first."""
+        return cls(nyb.from_nybbles(tuple(nybbles)))
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """The 128-bit integer value."""
+        return self._value
+
+    def nybble(self, index: int) -> int:
+        """The 4-bit value of the nybble at ``index`` (0 = most significant)."""
+        return nyb.get_nybble(self._value, index)
+
+    def nybbles(self) -> tuple[int, ...]:
+        """All 32 nybbles, most significant first."""
+        return nyb.to_nybbles(self._value)
+
+    def with_nybble(self, index: int, value: int) -> "IPv6Addr":
+        """A copy of this address with one nybble replaced."""
+        return IPv6Addr(nyb.set_nybble(self._value, index, value))
+
+    def interface_id(self) -> int:
+        """The low 64 bits (standard interface identifier, RFC 4291)."""
+        return self._value & ((1 << 64) - 1)
+
+    def network_id(self) -> int:
+        """The high 64 bits (standard network identifier, RFC 4291)."""
+        return self._value >> 64
+
+    # -- formatting ------------------------------------------------------
+    def compressed(self) -> str:
+        """RFC 5952 canonical text form."""
+        return format_address_int(self._value, compress=True)
+
+    def exploded(self) -> str:
+        """Uncompressed text form (all eight hextets)."""
+        return format_address_int(self._value, compress=False)
+
+    def full_hex(self) -> str:
+        """All 32 hex digits without separators (useful for nybble work)."""
+        return format(self._value, "032x")
+
+    def __str__(self) -> str:
+        return self.compressed()
+
+    def __repr__(self) -> str:
+        return f"IPv6Addr({self.compressed()!r})"
+
+    # -- protocol --------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IPv6Addr):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, IPv6Addr):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+
+def parse_hitlist_line(line: str) -> IPv6Addr | None:
+    """Parse one hitlist line; returns ``None`` for blanks and comments."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    return IPv6Addr.parse(line)
+
+
+def iter_hitlist(lines: Iterable[str]) -> Iterator[IPv6Addr]:
+    """Yield addresses from hitlist lines, skipping blanks and comments."""
+    for line in lines:
+        addr = parse_hitlist_line(line)
+        if addr is not None:
+            yield addr

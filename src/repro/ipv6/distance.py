@@ -1,0 +1,56 @@
+"""Nybble-level Hamming distance (the paper's similarity metric, §5.2).
+
+The distance between two addresses counts differing nybble positions.
+The distance from an address to a *range* treats any position whose
+value-set already contains the address's nybble as distance zero — so
+the metric also equals the number of positions that would become newly
+dynamic if the address were clustered into the range.
+"""
+
+from __future__ import annotations
+
+from .nybble import NYBBLE_COUNT, mask_contains
+from .range_ import NybbleRange
+
+
+def addr_distance(a: int, b: int) -> int:
+    """Nybble Hamming distance between two 128-bit address integers."""
+    diff = int(a) ^ int(b)
+    distance = 0
+    while diff:
+        if diff & 0xF:
+            distance += 1
+        diff >>= 4
+    return distance
+
+
+def bit_distance(a: int, b: int) -> int:
+    """Bit-level Hamming distance (for the §5.2 granularity ablation)."""
+    return (int(a) ^ int(b)).bit_count()
+
+
+def range_distance(range_: NybbleRange, addr: int) -> int:
+    """Nybble Hamming distance from a range to an address.
+
+    Counts positions where the address's nybble is outside the range's
+    allowed set; wildcarded positions therefore contribute zero.
+    """
+    value = int(addr)
+    distance = 0
+    masks = range_.masks
+    for i in range(NYBBLE_COUNT):
+        nybble = (value >> (4 * (NYBBLE_COUNT - 1 - i))) & 0xF
+        if not mask_contains(masks[i], nybble):
+            distance += 1
+    return distance
+
+
+def range_range_distance(a: NybbleRange, b: NybbleRange) -> int:
+    """Number of positions where two ranges share no common value.
+
+    A generalisation used for overlap analysis; zero iff the ranges
+    overlap.
+    """
+    return sum(
+        1 for ma, mb in zip(a.masks, b.masks) if (ma & mb) == 0
+    )

@@ -1,0 +1,123 @@
+"""Nybble-level helpers for 128-bit IPv6 addresses.
+
+The paper (§2) analyses addresses at *nybble* granularity: each IPv6
+address is a sequence of 32 hexadecimal digits, each digit covering four
+bits.  We index nybbles from 0 (most significant) to 31 (least
+significant), matching the paper's "nybble index" (their Figure 6 uses
+1-based indices; we keep 0-based internally and convert when plotting).
+
+Throughout the code base an address is canonically an ``int`` in
+``[0, 2**128)``; this module provides the conversions between that
+integer form, nybble tuples, and hexadecimal digits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: Number of nybbles in an IPv6 address.
+NYBBLE_COUNT = 32
+
+#: Number of bits per nybble.
+NYBBLE_BITS = 4
+
+#: Number of hextets (16-bit colon-separated groups) in an address.
+HEXTET_COUNT = 8
+
+#: The full 128-bit address space size.
+ADDRESS_SPACE_SIZE = 1 << 128
+
+#: Largest valid address integer.
+MAX_ADDRESS = ADDRESS_SPACE_SIZE - 1
+
+#: The hexadecimal alphabet used in text representations (lowercase).
+HEX_DIGITS = "0123456789abcdef"
+
+#: Wildcard character used in the paper's range notation (e.g. 2001:db8::?).
+WILDCARD_CHAR = "?"
+
+#: Bitmask with all 16 nybble values allowed (used by ranges).
+FULL_MASK = 0xFFFF
+
+_HEX_VALUE = {c: i for i, c in enumerate(HEX_DIGITS)}
+_HEX_VALUE.update({c.upper(): i for i, c in enumerate(HEX_DIGITS) if c.isalpha()})
+
+
+def nybble_shift(index: int) -> int:
+    """Bit shift that brings nybble ``index`` to the least-significant slot.
+
+    ``index`` 0 is the most significant nybble.
+    """
+    if not 0 <= index < NYBBLE_COUNT:
+        raise IndexError(f"nybble index out of range: {index}")
+    return NYBBLE_BITS * (NYBBLE_COUNT - 1 - index)
+
+
+def get_nybble(value: int, index: int) -> int:
+    """Return the 4-bit nybble at ``index`` of a 128-bit integer address."""
+    return (value >> nybble_shift(index)) & 0xF
+
+
+def set_nybble(value: int, index: int, nybble: int) -> int:
+    """Return ``value`` with the nybble at ``index`` replaced by ``nybble``."""
+    if not 0 <= nybble <= 0xF:
+        raise ValueError(f"nybble value out of range: {nybble}")
+    shift = nybble_shift(index)
+    return (value & ~(0xF << shift)) | (nybble << shift)
+
+
+def to_nybbles(value: int) -> tuple[int, ...]:
+    """Explode a 128-bit integer into a tuple of 32 nybbles, MSB first."""
+    if not 0 <= value <= MAX_ADDRESS:
+        raise ValueError(f"address integer out of range: {value}")
+    return tuple((value >> (NYBBLE_BITS * i)) & 0xF for i in range(NYBBLE_COUNT - 1, -1, -1))
+
+
+def from_nybbles(nybbles: Sequence[int]) -> int:
+    """Assemble a 128-bit integer from 32 nybbles, MSB first."""
+    if len(nybbles) != NYBBLE_COUNT:
+        raise ValueError(f"expected {NYBBLE_COUNT} nybbles, got {len(nybbles)}")
+    value = 0
+    for nyb in nybbles:
+        if not 0 <= nyb <= 0xF:
+            raise ValueError(f"nybble value out of range: {nyb}")
+        value = (value << NYBBLE_BITS) | nyb
+    return value
+
+
+def hex_digit(nybble: int) -> str:
+    """Lowercase hexadecimal digit for a nybble value."""
+    return HEX_DIGITS[nybble]
+
+
+def hex_value(digit: str) -> int:
+    """Nybble value of a hexadecimal digit (either case)."""
+    try:
+        return _HEX_VALUE[digit]
+    except KeyError:
+        raise ValueError(f"not a hexadecimal digit: {digit!r}") from None
+
+
+def popcount16(mask: int) -> int:
+    """Number of allowed values in a 16-bit nybble mask."""
+    return (mask & FULL_MASK).bit_count()
+
+
+def mask_of(values: Iterable[int]) -> int:
+    """Build a 16-bit mask with the given nybble values allowed."""
+    mask = 0
+    for v in values:
+        if not 0 <= v <= 0xF:
+            raise ValueError(f"nybble value out of range: {v}")
+        mask |= 1 << v
+    return mask
+
+
+def mask_values(mask: int) -> tuple[int, ...]:
+    """Tuple of nybble values allowed by a 16-bit mask, ascending."""
+    return tuple(v for v in range(16) if mask & (1 << v))
+
+
+def mask_contains(mask: int, nybble: int) -> bool:
+    """True if the nybble value is allowed by the mask."""
+    return bool(mask & (1 << nybble))

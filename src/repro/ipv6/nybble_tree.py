@@ -1,0 +1,171 @@
+"""16-ary nybble tree over IPv6 addresses (the paper's §5.5 optimization).
+
+Each level of the tree corresponds to one nybble position (level 0 is
+the most significant nybble) and branching corresponds to that
+position's value.  Every node carries the count of addresses in its
+subtree, which lets range queries short-circuit once the remainder of
+the query range is fully wildcarded.
+
+The tree supports the two operations 6Gen needs:
+
+* counting the seeds inside a :class:`~repro.ipv6.range_.NybbleRange`
+  (to compute a grown cluster's seed-set size without storing seed sets);
+* iterating those seeds (to reconstruct a cluster's seed set on demand).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .nybble import FULL_MASK, NYBBLE_COUNT, mask_contains
+from .range_ import NybbleRange
+
+
+class _Node:
+    """Internal tree node: subtree count plus children keyed by nybble."""
+
+    __slots__ = ("count", "children")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.children: dict[int, "_Node"] = {}
+
+
+class NybbleTree:
+    """A set of IPv6 addresses indexed for nybble-range queries.
+
+    Duplicate inserts are ignored (the tree models a *set* of seeds, as
+    in the paper).
+    """
+
+    def __init__(self, addrs: Iterable[int] = ()) -> None:
+        self._root = _Node()
+        for addr in addrs:
+            self.insert(addr)
+
+    # -- mutation ---------------------------------------------------------
+    def insert(self, addr: int) -> bool:
+        """Insert an address; returns True if it was not already present."""
+        value = int(addr)
+        path: list[_Node] = [self._root]
+        node = self._root
+        for i in range(NYBBLE_COUNT):
+            nybble = (value >> (4 * (NYBBLE_COUNT - 1 - i))) & 0xF
+            child = node.children.get(nybble)
+            if child is None:
+                child = _Node()
+                node.children[nybble] = child
+            path.append(child)
+            node = child
+        if node.count:  # leaf already holds this exact address
+            return False
+        for n in path:
+            n.count += 1
+        return True
+
+    def remove(self, addr: int) -> bool:
+        """Remove an address; returns True if it was present."""
+        value = int(addr)
+        path: list[tuple[_Node, int]] = []
+        node = self._root
+        for i in range(NYBBLE_COUNT):
+            nybble = (value >> (4 * (NYBBLE_COUNT - 1 - i))) & 0xF
+            child = node.children.get(nybble)
+            if child is None:
+                return False
+            path.append((node, nybble))
+            node = child
+        if not node.count:
+            return False
+        self._root.count -= 1
+        for parent, nybble in path:
+            child = parent.children[nybble]
+            child.count -= 1
+            if child.count == 0:
+                del parent.children[nybble]
+                break  # descendants are unreachable; let GC reclaim them
+        return True
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._root.count
+
+    def __bool__(self) -> bool:
+        return self._root.count > 0
+
+    def __contains__(self, addr) -> bool:
+        value = int(addr)
+        node = self._root
+        for i in range(NYBBLE_COUNT):
+            nybble = (value >> (4 * (NYBBLE_COUNT - 1 - i))) & 0xF
+            node = node.children.get(nybble)
+            if node is None:
+                return False
+        return True
+
+    def count_in_range(self, range_: NybbleRange) -> int:
+        """Number of stored addresses that lie within the range."""
+        masks = range_.masks
+        # Precompute, for each depth, whether all remaining masks are full
+        # wildcards; if so the whole subtree count can be used directly.
+        suffix_full = [True] * (NYBBLE_COUNT + 1)
+        for i in range(NYBBLE_COUNT - 1, -1, -1):
+            suffix_full[i] = suffix_full[i + 1] and masks[i] == FULL_MASK
+
+        def visit(node: _Node, depth: int) -> int:
+            if suffix_full[depth]:
+                return node.count
+            mask = masks[depth]
+            total = 0
+            for nybble, child in node.children.items():
+                if mask_contains(mask, nybble):
+                    total += visit(child, depth + 1)
+            return total
+
+        return visit(self._root, 0)
+
+    def iter_in_range(self, range_: NybbleRange) -> Iterator[int]:
+        """Iterate stored addresses within the range, ascending."""
+        masks = range_.masks
+
+        def visit(node: _Node, depth: int, prefix: int) -> Iterator[int]:
+            if depth == NYBBLE_COUNT:
+                yield prefix
+                return
+            mask = masks[depth]
+            for nybble in sorted(node.children):
+                if mask_contains(mask, nybble):
+                    yield from visit(
+                        node.children[nybble], depth + 1, (prefix << 4) | nybble
+                    )
+
+        return visit(self._root, 0, 0)
+
+    def iter_all(self) -> Iterator[int]:
+        """Iterate all stored addresses, ascending."""
+        return self.iter_in_range(NybbleRange.full())
+
+    def count_with_prefix_nybbles(self, nybbles: Iterable[int]) -> int:
+        """Count addresses whose leading nybbles equal the given sequence."""
+        node = self._root
+        for nybble in nybbles:
+            node = node.children.get(int(nybble))
+            if node is None:
+                return 0
+        return node.count
+
+    def densest_child(self, nybbles: Iterable[int]) -> tuple[int, int] | None:
+        """(nybble value, count) of the heaviest child under a prefix path.
+
+        Returns ``None`` if the path does not exist.  Useful for
+        density-guided exploration (e.g. the Ullrich baseline).
+        """
+        node = self._root
+        for nybble in nybbles:
+            node = node.children.get(int(nybble))
+            if node is None:
+                return None
+        if not node.children:
+            return None
+        value, child = max(node.children.items(), key=lambda kv: (kv[1].count, -kv[0]))
+        return value, child.count

@@ -1,0 +1,141 @@
+"""Recognisers for known IPv6 address-assignment practices (RFC 7707, §3.2).
+
+These helpers classify interface identifiers (the low 64 bits) into the
+allocation practices the paper cites: low-byte addresses, SLAAC/EUI-64
+identifiers, embedded IPv4 addresses, embedded service ports, and
+human-readable hex words.  The simulated Internet
+(:mod:`repro.simnet.allocation`) generates addresses with these same
+practices, and the RFC 7707 baseline (:mod:`repro.baselines.lowbyte`)
+predicts with them.
+"""
+
+from __future__ import annotations
+
+from .address import IPv6Addr
+
+#: Human-readable strings expressible in hex digits (RFC 7707 §B).
+HEX_WORDS = (
+    "dead", "beef", "cafe", "babe", "face", "fade", "feed",
+    "f00d", "c0de", "b00c", "abba", "d00d", "5eed", "ace",
+)
+
+#: Service ports commonly embedded in addresses (decimal digits reused as hex).
+COMMON_PORTS = (80, 443, 25, 53, 22, 8080, 993, 587)
+
+_IID_MASK = (1 << 64) - 1
+
+
+def interface_id(addr: IPv6Addr | int) -> int:
+    """The low 64 bits of an address."""
+    return int(addr) & _IID_MASK
+
+
+def is_low_byte(addr: IPv6Addr | int, bits: int = 8) -> bool:
+    """True if the interface identifier is non-zero only in its low bits.
+
+    Czyz et al. (cited in §3.2) report that most router and server
+    addresses have non-zero values in only the least significant 8 or
+    16 bits of the interface identifier.
+    """
+    if not 0 < bits <= 64:
+        raise ValueError(f"bits out of range: {bits}")
+    iid = interface_id(addr)
+    return iid != 0 and (iid >> bits) == 0
+
+
+def is_subnet_anycast(addr: IPv6Addr | int) -> bool:
+    """True for the all-zero interface identifier (subnet-router anycast)."""
+    return interface_id(addr) == 0
+
+
+def is_eui64(addr: IPv6Addr | int) -> bool:
+    """True if the interface identifier has the SLAAC EUI-64 shape.
+
+    EUI-64 identifiers insert the bytes ``ff:fe`` between the two MAC
+    halves (bytes 3 and 4 of the IID).
+    """
+    iid = interface_id(addr)
+    return ((iid >> 24) & 0xFFFF) == 0xFFFE
+
+
+def eui64_iid_from_mac(mac: int) -> int:
+    """Build an EUI-64 interface identifier from a 48-bit MAC address.
+
+    Follows RFC 4291 appendix A: split the MAC, insert ``ff:fe``, and
+    flip the universal/local bit.
+    """
+    if not 0 <= mac < (1 << 48):
+        raise ValueError(f"MAC out of range: {mac:#x}")
+    upper = mac >> 24
+    lower = mac & 0xFFFFFF
+    iid = (upper << 40) | (0xFFFE << 24) | lower
+    return iid ^ (1 << 57)  # universal/local bit is bit 6 of the first byte
+
+
+def mac_from_eui64_iid(iid: int) -> int | None:
+    """Recover the MAC address from an EUI-64 IID, or ``None`` if not EUI-64."""
+    if ((iid >> 24) & 0xFFFF) != 0xFFFE:
+        return None
+    iid ^= 1 << 57
+    return ((iid >> 40) << 24) | (iid & 0xFFFFFF)
+
+
+def is_ipv4_embedded(addr: IPv6Addr | int) -> bool:
+    """Heuristic for IPv4 addresses embedded in the low 32 bits.
+
+    Detects the common practice of writing an IPv4 address's four
+    decimal octets directly into the final two hextets (e.g.
+    ``2001:db8::192.0.2.1`` stored as ``c000:0201``) with the rest of
+    the IID zero.
+    """
+    iid = interface_id(addr)
+    return iid != 0 and (iid >> 32) == 0 and (iid >> 16) != 0 and not is_low_byte(addr, 16)
+
+
+def embedded_port(addr: IPv6Addr | int) -> int | None:
+    """The embedded service port, if the IID spells one in decimal digits.
+
+    A port is considered embedded when the IID equals the port number's
+    decimal digits read as hex (e.g. ``::443`` has IID ``0x443``), a
+    practice RFC 7707 documents for servers.
+    """
+    iid = interface_id(addr)
+    text = format(iid, "x")
+    if text.isdigit() and int(text) in COMMON_PORTS:
+        return int(text)
+    return None
+
+
+def contains_hex_word(addr: IPv6Addr | int) -> str | None:
+    """The first known hex word appearing in the IID's hex digits, if any."""
+    iid_text = format(interface_id(addr), "016x")
+    for word in HEX_WORDS:
+        if word in iid_text:
+            return word
+    return None
+
+
+def classify_iid(addr: IPv6Addr | int) -> str:
+    """Best-effort label for the interface identifier's allocation practice.
+
+    Returns one of ``subnet-anycast``, ``low-byte``, ``low-word``,
+    ``eui64``, ``port``, ``hex-word``, ``ipv4``, or ``random``.
+    The checks are ordered from most to least specific.
+    """
+    if is_subnet_anycast(addr):
+        return "subnet-anycast"
+    port = embedded_port(addr)
+    if port is not None:
+        return "port"
+    if is_low_byte(addr, 8):
+        return "low-byte"
+    if is_low_byte(addr, 16):
+        return "low-word"
+    if is_eui64(addr):
+        return "eui64"
+    word = contains_hex_word(addr)
+    if word is not None:
+        return "hex-word"
+    if is_ipv4_embedded(addr):
+        return "ipv4"
+    return "random"

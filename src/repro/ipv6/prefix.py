@@ -1,0 +1,168 @@
+"""CIDR prefixes over the IPv6 address space.
+
+A :class:`Prefix` is an aligned power-of-two block ``network/length``.
+The BGP substrate (:mod:`repro.simnet.bgp`), the aliased-region model
+(:mod:`repro.simnet.aliasing`) and the /96 dealiasing probe method
+(:mod:`repro.scanner.dealias`) are all built on this type.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+from typing import Iterator
+
+from .address import AddressError, IPv6Addr, format_address_int, parse_address_int
+from .nybble import MAX_ADDRESS
+
+
+class PrefixError(ValueError):
+    """Raised for malformed prefixes."""
+
+
+@functools.total_ordering
+class Prefix:
+    """An IPv6 CIDR prefix (aligned block of addresses).
+
+    The network integer must have all host bits zero; use
+    :meth:`containing` to derive the prefix that covers an arbitrary
+    address.
+    """
+
+    __slots__ = ("_network", "_length")
+
+    def __init__(self, network: int, length: int):
+        if not 0 <= length <= 128:
+            raise PrefixError(f"prefix length out of range: {length}")
+        if not 0 <= network <= MAX_ADDRESS:
+            raise PrefixError(f"network integer out of range: {network}")
+        if network & host_mask(length):
+            raise PrefixError(
+                f"network has host bits set: {format_address_int(network)}/{length}"
+            )
+        object.__setattr__(self, "_network", network)
+        object.__setattr__(self, "_length", length)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Prefix is immutable")
+
+    def __reduce__(self):
+        # immutability guard blocks default unpickling; rebuild via ctor
+        return (Prefix, (self._network, self._length))
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``addr/len`` CIDR text."""
+        addr_text, _, len_text = text.strip().partition("/")
+        if not len_text:
+            raise PrefixError(f"missing '/length' in prefix: {text!r}")
+        try:
+            length = int(len_text)
+        except ValueError:
+            raise PrefixError(f"invalid prefix length: {len_text!r}") from None
+        try:
+            network = parse_address_int(addr_text)
+        except AddressError as exc:
+            raise PrefixError(str(exc)) from None
+        return cls(network, length)
+
+    @classmethod
+    def containing(cls, addr: IPv6Addr | int, length: int) -> "Prefix":
+        """The /length prefix that contains ``addr``."""
+        value = int(addr)
+        return cls(value & network_mask(length), length)
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def network(self) -> int:
+        """The network integer (host bits all zero)."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """The prefix length in bits."""
+        return self._length
+
+    @property
+    def first(self) -> int:
+        """Lowest address integer in the block."""
+        return self._network
+
+    @property
+    def last(self) -> int:
+        """Highest address integer in the block."""
+        return self._network | host_mask(self._length)
+
+    def size(self) -> int:
+        """Number of addresses in the block (2**(128-length))."""
+        return 1 << (128 - self._length)
+
+    def contains(self, addr: IPv6Addr | int) -> bool:
+        """True if the address lies within this block."""
+        return (int(addr) & network_mask(self._length)) == self._network
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if ``other`` is fully contained in (or equal to) this block."""
+        return other._length >= self._length and self.contains(other._network)
+
+    def supernet(self, length: int) -> "Prefix":
+        """The shorter prefix of the given length containing this one."""
+        if length > self._length:
+            raise PrefixError(
+                f"supernet length {length} longer than prefix length {self._length}"
+            )
+        return Prefix.containing(self._network, length)
+
+    def subnets(self, length: int) -> Iterator["Prefix"]:
+        """Iterate the sub-blocks of the given longer (or equal) length."""
+        if length < self._length:
+            raise PrefixError(
+                f"subnet length {length} shorter than prefix length {self._length}"
+            )
+        step = 1 << (128 - length)
+        for net in range(self._network, self.last + 1, step):
+            yield Prefix(net, length)
+
+    def random_address(self, rng: random.Random) -> IPv6Addr:
+        """A uniformly random address within the block."""
+        return IPv6Addr(self._network | rng.getrandbits(128 - self._length))
+
+    def addresses(self) -> Iterator[IPv6Addr]:
+        """Iterate every address in the block (guard the size first!)."""
+        for value in range(self._network, self.last + 1):
+            yield IPv6Addr(value)
+
+    # -- formatting & protocol --------------------------------------------
+    def __str__(self) -> str:
+        return f"{format_address_int(self._network)}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Prefix):
+            return (self._network, self._length) == (other._network, other._length)
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, Prefix):
+            return (self._network, self._length) < (other._network, other._length)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._network, self._length))
+
+
+def network_mask(length: int) -> int:
+    """128-bit mask covering the top ``length`` bits."""
+    if not 0 <= length <= 128:
+        raise PrefixError(f"prefix length out of range: {length}")
+    return MAX_ADDRESS ^ host_mask(length)
+
+
+def host_mask(length: int) -> int:
+    """128-bit mask covering the low ``128 - length`` bits."""
+    if not 0 <= length <= 128:
+        raise PrefixError(f"prefix length out of range: {length}")
+    return (1 << (128 - length)) - 1

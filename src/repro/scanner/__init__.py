@@ -1,0 +1,38 @@
+"""Simulated scan engine, blacklist, and §6.2 dealiasing pipeline."""
+
+from .blacklist import Blacklist
+from .dealias import (
+    AliasedSummary,
+    DealiasReport,
+    as_level_inspection,
+    dealias,
+    detect_aliased_prefixes,
+    group_hits_by_prefix,
+    is_prefix_aliased,
+    split_hits,
+    summarize_aliased_prefixes,
+)
+from .engine import Scanner
+from .schedule import batched, interleave_by_network, max_burst
+from .probe import DEFAULT_PORT, Probe, ScanResult, ScanStats
+
+__all__ = [
+    "Blacklist",
+    "DEFAULT_PORT",
+    "AliasedSummary",
+    "DealiasReport",
+    "Probe",
+    "ScanResult",
+    "ScanStats",
+    "Scanner",
+    "batched",
+    "interleave_by_network",
+    "max_burst",
+    "as_level_inspection",
+    "dealias",
+    "detect_aliased_prefixes",
+    "group_hits_by_prefix",
+    "is_prefix_aliased",
+    "split_hits",
+    "summarize_aliased_prefixes",
+]

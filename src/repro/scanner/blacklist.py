@@ -1,0 +1,72 @@
+"""Scan blacklist: opt-out prefixes the scanner must never probe.
+
+The paper follows the ZMap ethical-scanning guidelines and honours all
+opt-out requests (§6); this module is the enforcement point.  The
+simulated scanner consults the blacklist before every probe, and the
+tests inject blacklist entries to verify nothing leaks through.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from ..ipv6.prefix import Prefix, network_mask
+
+
+class Blacklist:
+    """A set of never-probe prefixes with fast membership checks."""
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()) -> None:
+        self._by_length: dict[int, set[int]] = defaultdict(set)
+        self._lengths: list[int] = []
+        self._count = 0
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def add(self, prefix: Prefix) -> None:
+        bucket = self._by_length[prefix.length]
+        if prefix.network not in bucket:
+            bucket.add(prefix.network)
+            self._count += 1
+            if prefix.length not in self._lengths:
+                self._lengths.append(prefix.length)
+                self._lengths.sort()
+
+    def add_address(self, addr: int) -> None:
+        """Blacklist a single address (a /128 entry)."""
+        self.add(Prefix(int(addr), 128))
+
+    def contains(self, addr: int) -> bool:
+        value = int(addr)
+        for length in self._lengths:
+            if value & network_mask(length) in self._by_length[length]:
+                return True
+        return False
+
+    def __contains__(self, addr) -> bool:
+        return self.contains(int(addr))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def prefixes(self) -> Iterator[Prefix]:
+        for length in sorted(self._by_length):
+            for network in sorted(self._by_length[length]):
+                yield Prefix(network, length)
+
+    @classmethod
+    def parse_lines(cls, lines: Iterable[str]) -> "Blacklist":
+        """Build from text lines (one CIDR per line, # comments allowed)."""
+        blacklist = cls()
+        for line in lines:
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "/" not in line:
+                line += "/128"
+            blacklist.add(Prefix.parse(line))
+        return blacklist

@@ -1,0 +1,86 @@
+"""Aliased-region model (paper §6.2).
+
+The paper's key measurement finding: in several large networks *every*
+address of an enormous prefix answers TCP/80 probes — e.g. a fully
+responsive Akamai /56 — so responsive addresses stop corresponding to
+distinct hosts.  An :class:`AliasedRegion` models one such prefix: all
+of its addresses respond on the configured ports regardless of any host
+list.  The set type gives the ground truth (and the dealiasing tests)
+fast membership checks via per-length indexing, like the BGP table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..ipv6.prefix import Prefix, network_mask
+
+
+@dataclass(frozen=True)
+class AliasedRegion:
+    """A fully responsive prefix: every contained address answers."""
+
+    prefix: Prefix
+    ports: frozenset[int] = frozenset({80})
+
+    def responds(self, addr: int, port: int) -> bool:
+        return port in self.ports and self.prefix.contains(addr)
+
+    def __str__(self) -> str:
+        ports = ",".join(str(p) for p in sorted(self.ports))
+        return f"AliasedRegion({self.prefix}, ports={ports})"
+
+
+@dataclass
+class AliasedRegionSet:
+    """Indexed collection of aliased regions for fast membership tests."""
+
+    _by_length: dict[int, dict[int, AliasedRegion]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+    _lengths: list[int] = field(default_factory=list)
+
+    def add(self, region: AliasedRegion) -> None:
+        bucket = self._by_length[region.prefix.length]
+        if region.prefix.network in bucket:
+            raise ValueError(f"duplicate aliased region {region.prefix}")
+        bucket[region.prefix.network] = region
+        if region.prefix.length not in self._lengths:
+            self._lengths.append(region.prefix.length)
+            self._lengths.sort()
+
+    def add_prefix(self, prefix: Prefix, ports: Iterable[int] = (80,)) -> AliasedRegion:
+        region = AliasedRegion(prefix, frozenset(ports))
+        self.add(region)
+        return region
+
+    def find(self, addr: int) -> AliasedRegion | None:
+        """The (shortest-prefix) aliased region containing the address."""
+        value = int(addr)
+        for length in self._lengths:
+            network = value & network_mask(length)
+            region = self._by_length[length].get(network)
+            if region is not None:
+                return region
+        return None
+
+    def responds(self, addr: int, port: int) -> bool:
+        value = int(addr)
+        for length in self._lengths:
+            network = value & network_mask(length)
+            region = self._by_length[length].get(network)
+            if region is not None and port in region.ports:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[AliasedRegion]:
+        for length in self._lengths:
+            yield from self._by_length[length].values()
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._by_length.values())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,222 @@
+"""Address-allocation policies for the simulated Internet.
+
+Each policy fabricates active host addresses inside a subnet, following
+one of the practices documented in RFC 7707 and measured by Czyz et al.
+(paper §3.2): low-byte assignment, sequential DHCPv6 leases, SLAAC
+EUI-64 identifiers, privacy-extension random identifiers, embedded
+service ports, embedded IPv4 addresses, and human-readable hex words.
+
+Discoverability varies by design: low-byte and sequential hosts are
+easy for any density-driven TGA; EUI-64 hosts share a vendor OUI but
+spread across 2**24 values; privacy-random hosts are essentially
+undiscoverable — together they produce the hit-rate diversity the
+paper observes across networks.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ipv6.patterns import COMMON_PORTS, HEX_WORDS, eui64_iid_from_mac
+from ..ipv6.prefix import Prefix
+
+
+class AllocationPolicy(abc.ABC):
+    """Fabricates active addresses within a subnet."""
+
+    #: Short machine-readable policy name (used in specs and reports).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        """Up to ``count`` distinct addresses inside ``subnet``."""
+
+    @staticmethod
+    def _fit(subnet: Prefix, iid: int) -> int:
+        """Clamp an interface identifier into the subnet's host bits."""
+        host_bits = 128 - subnet.length
+        return subnet.network | (iid & ((1 << host_bits) - 1))
+
+
+@dataclass
+class LowBytePolicy(AllocationPolicy):
+    """Hosts at ``::1, ::2, …`` — non-zero only in the low byte(s).
+
+    ``sequential`` packs hosts densely from ``start``; otherwise values
+    are drawn at random from the low ``bits`` bits.
+    """
+
+    bits: int = 8
+    start: int = 1
+    sequential: bool = True
+    name: str = "low-byte"
+
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        space = 1 << self.bits
+        count = min(count, space - self.start)
+        if self.sequential:
+            iids = range(self.start, self.start + count)
+            return {self._fit(subnet, iid) for iid in iids}
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            chosen.add(self._fit(subnet, rng.randrange(self.start, space)))
+        return chosen
+
+
+@dataclass
+class SequentialPolicy(AllocationPolicy):
+    """DHCPv6-style sequential leases from a pool base (e.g. ``::1000``)."""
+
+    pool_base: int = 0x1000
+    stride: int = 1
+    name: str = "dhcpv6-sequential"
+
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        return {
+            self._fit(subnet, self.pool_base + i * self.stride) for i in range(count)
+        }
+
+
+@dataclass
+class EUI64Policy(AllocationPolicy):
+    """SLAAC addresses derived from MACs sharing a vendor OUI.
+
+    The 24-bit NIC-specific half is random, so hosts scatter across a
+    2**24 space — visible structure (the OUI and ``ff:fe`` filler) but
+    poor probe-ability, as the paper's related work discusses.
+    """
+
+    oui: int = 0x00163E
+    name: str = "slaac-eui64"
+
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        chosen: set[int] = set()
+        while len(chosen) < min(count, 1 << 24):
+            mac = (self.oui << 24) | rng.getrandbits(24)
+            chosen.add(self._fit(subnet, eui64_iid_from_mac(mac)))
+        return chosen
+
+
+@dataclass
+class PrivacyRandomPolicy(AllocationPolicy):
+    """RFC 4941 privacy extensions: uniform-random 64-bit identifiers."""
+
+    name: str = "privacy-random"
+
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        host_bits = 128 - subnet.length
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            chosen.add(self._fit(subnet, rng.getrandbits(min(host_bits, 64))))
+        return chosen
+
+
+@dataclass
+class PortEmbedPolicy(AllocationPolicy):
+    """One host per embedded service port (``::80``, ``::443``, …)."""
+
+    ports: Sequence[int] = COMMON_PORTS
+    name: str = "port-embed"
+
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        iids = [int(format(p, "d"), 16) for p in self.ports[:count]]
+        return {self._fit(subnet, iid) for iid in iids}
+
+
+@dataclass
+class HexWordPolicy(AllocationPolicy):
+    """Human-readable identifiers: ``::dead:beef:0:N`` and friends."""
+
+    words: Sequence[str] = HEX_WORDS[:4]
+    name: str = "hex-word"
+
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        chosen: set[int] = set()
+        per_word = max(1, count // max(1, len(self.words)))
+        for word in self.words:
+            word_value = int(word, 16)
+            for i in range(per_word):
+                if len(chosen) >= count:
+                    break
+                iid = (word_value << 32) | i
+                chosen.add(self._fit(subnet, iid))
+        return chosen
+
+
+@dataclass
+class IPv4EmbeddedPolicy(AllocationPolicy):
+    """Dual-stack hosts embedding their IPv4 address in the low 32 bits."""
+
+    v4_base: int = (10 << 24) | (0 << 16) | (0 << 8) | 1  # 10.0.0.1
+    name: str = "ipv4-embed"
+
+    def allocate(self, subnet: Prefix, count: int, rng: random.Random) -> set[int]:
+        return {self._fit(subnet, self.v4_base + i) for i in range(count)}
+
+
+#: Policy classes by name, for spec-driven construction.
+POLICY_CLASSES = {
+    cls.name: cls
+    for cls in (
+        LowBytePolicy,
+        SequentialPolicy,
+        EUI64Policy,
+        PrivacyRandomPolicy,
+        PortEmbedPolicy,
+        HexWordPolicy,
+        IPv4EmbeddedPolicy,
+    )
+}
+
+
+def make_policy(name: str, **kwargs) -> AllocationPolicy:
+    """Instantiate a policy by its registered name."""
+    try:
+        cls = POLICY_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {sorted(POLICY_CLASSES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def allocate_subnets(
+    routed_prefix: Prefix,
+    policy: AllocationPolicy,
+    host_count: int,
+    subnet_count: int,
+    rng: random.Random,
+    *,
+    subnet_length: int = 64,
+    sequential_subnets: bool = True,
+) -> set[int]:
+    """Spread ``host_count`` hosts across subnets of a routed prefix.
+
+    Subnet identifiers are either the first ``subnet_count`` values
+    (sequential, the common operational layout) or sparse random picks;
+    hosts are split evenly across the chosen subnets.
+    """
+    if subnet_length < routed_prefix.length:
+        raise ValueError(
+            f"subnet length {subnet_length} shorter than routed prefix "
+            f"{routed_prefix.length}"
+        )
+    subnet_bits = subnet_length - routed_prefix.length
+    max_subnets = 1 << min(subnet_bits, 24)
+    subnet_count = max(1, min(subnet_count, max_subnets))
+    if sequential_subnets:
+        subnet_ids = range(subnet_count)
+    else:
+        subnet_ids = rng.sample(range(max_subnets), subnet_count)
+    hosts: set[int] = set()
+    per_subnet = max(1, host_count // subnet_count)
+    shift = 128 - subnet_length
+    for sid in subnet_ids:
+        subnet = Prefix(routed_prefix.network | (sid << shift), subnet_length)
+        hosts.update(policy.allocate(subnet, per_subnet, rng))
+        if len(hosts) >= host_count:
+            break
+    return hosts

@@ -1,0 +1,101 @@
+"""Autonomous-system registry for the simulated Internet.
+
+The simulation reuses the AS names and numbers that appear in the
+paper's Table 1 (Linode, Amazon, Akamai, Cloudflare, …) as synthetic
+stand-ins, so reproduced tables read like the originals.  Additional
+filler ASes are generated on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One AS: its number, display name, and simulation role tags."""
+
+    asn: int
+    name: str
+    #: Free-form tags, e.g. "cdn", "hosting", "isp"; used by the builder.
+    tags: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.name})"
+
+
+#: ASes named in the paper's Table 1, with their real-world numbers.
+WELL_KNOWN_ASES = (
+    AutonomousSystem(63949, "Linode", ("hosting",)),
+    AutonomousSystem(16509, "Amazon", ("cloud", "aliased")),
+    AutonomousSystem(14618, "Amazon", ("cloud",)),
+    AutonomousSystem(20773, "HostEurope", ("hosting",)),
+    AutonomousSystem(3320, "DTAG ISP", ("isp",)),
+    AutonomousSystem(12824, "home.pl", ("hosting",)),
+    AutonomousSystem(25532, "Masterhost", ("hosting",)),
+    AutonomousSystem(6939, "Hurricane", ("transit",)),
+    AutonomousSystem(13335, "Cloudflare", ("cdn", "aliased")),
+    AutonomousSystem(47490, "TuxBox", ("hosting",)),
+    AutonomousSystem(8560, "OneAndOne", ("hosting",)),
+    AutonomousSystem(20940, "Akamai", ("cdn", "aliased")),
+    AutonomousSystem(209, "CenturyLink", ("isp",)),
+    AutonomousSystem(3257, "GTT", ("transit",)),
+    AutonomousSystem(54113, "Fastly", ("cdn",)),
+    AutonomousSystem(15169, "Google", ("cloud",)),
+    AutonomousSystem(2828, "XO Comms", ("isp",)),
+    AutonomousSystem(13189, "Lidero", ("hosting",)),
+    AutonomousSystem(16276, "OVH", ("hosting",)),
+    AutonomousSystem(24940, "Hetzner", ("hosting",)),
+    AutonomousSystem(25560, "RH-TEC", ("hosting",)),
+    AutonomousSystem(25234, "Globe", ("hosting",)),
+    AutonomousSystem(26496, "GoDaddy", ("hosting",)),
+    AutonomousSystem(58010, "Uvensys", ("hosting",)),
+    AutonomousSystem(14061, "DigitalOcean", ("hosting",)),
+    AutonomousSystem(15817, "Mittwald", ("hosting", "aliased")),
+)
+
+
+@dataclass
+class AsRegistry:
+    """Lookup table of ASes by number."""
+
+    _by_asn: dict[int, AutonomousSystem] = field(default_factory=dict)
+
+    def add(self, as_: AutonomousSystem) -> AutonomousSystem:
+        if as_.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN: {as_.asn}")
+        self._by_asn[as_.asn] = as_
+        return as_
+
+    def get(self, asn: int) -> AutonomousSystem | None:
+        return self._by_asn.get(asn)
+
+    def name_of(self, asn: int) -> str:
+        as_ = self._by_asn.get(asn)
+        return as_.name if as_ else f"AS{asn}"
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    @classmethod
+    def with_well_known(cls) -> "AsRegistry":
+        registry = cls()
+        for as_ in WELL_KNOWN_ASES:
+            registry.add(as_)
+        return registry
+
+    def add_filler(self, count: int, start_asn: int = 200_000) -> list[AutonomousSystem]:
+        """Add ``count`` generic ASes with sequential private-range numbers."""
+        added = []
+        asn = start_asn
+        while len(added) < count:
+            if asn not in self._by_asn:
+                added.append(self.add(AutonomousSystem(asn, f"Network-{asn}", ("generic",))))
+            asn += 1
+        return added

@@ -1,0 +1,143 @@
+"""Simulated DNS seed collection (paper §6.1's Rapid7 FDNS stand-in).
+
+The paper's seeds are AAAA records extracted from a Forward-DNS ANY
+snapshot: a biased sample of active (and recently active) hosts, plus
+CDN customer hostnames that resolve into aliased address space.  This
+module fabricates the same kind of snapshot from the simulated ground
+truth:
+
+* each active host appears with its network's ``seed_rate``
+  probability (DNS visibility differs per network);
+* *retired* hosts appear at a reduced rate — DNS records outlive hosts,
+  producing the inactive seeds §6.6 analyses;
+* aliased networks contribute hostnames resolving to random addresses
+  inside their aliased regions;
+* a fraction of visible hosts also carry NS records, enabling the
+  name-server-seed experiment (§6.7.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..ipv6.prefix import Prefix
+from .ground_truth import BuiltNetwork, SimInternet
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """One forward-DNS record: hostname, record type, and target address."""
+
+    name: str
+    rtype: str  # "AAAA" or "NS" (an NS host also has an AAAA record)
+    addr: int
+
+    def __str__(self) -> str:
+        from ..ipv6.address import format_address_int
+
+        return f"{self.name} {self.rtype} {format_address_int(self.addr)}"
+
+
+@dataclass
+class SeedCollection:
+    """A fabricated FDNS snapshot: records plus convenient address views."""
+
+    records: list[DnsRecord] = field(default_factory=list)
+
+    def addresses(self) -> list[int]:
+        """All unique seed addresses (the paper's 6Gen input)."""
+        return sorted({r.addr for r in self.records})
+
+    def ns_addresses(self) -> list[int]:
+        """Unique addresses carrying NS records (§6.7.1 seed subset)."""
+        return sorted({r.addr for r in self.records if r.rtype == "NS"})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DnsRecord]:
+        return iter(self.records)
+
+    def downsample(self, fraction: float, rng_seed: int = 0) -> "SeedCollection":
+        """Random record-level downsample (Table 2's 1 %/10 %/25 % inputs)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+        rng = random.Random(rng_seed)
+        count = max(1, int(len(self.records) * fraction))
+        return SeedCollection(records=rng.sample(self.records, count))
+
+
+def collect_network_seeds(
+    network: BuiltNetwork, rng: random.Random, start_index: int = 0
+) -> list[DnsRecord]:
+    """FDNS records contributed by one network."""
+    spec = network.spec
+    records: list[DnsRecord] = []
+    index = start_index
+
+    def hostname(i: int) -> str:
+        return f"host{i}.as{spec.asn}.example"
+
+    for addr in sorted(network.active_hosts):
+        if rng.random() < spec.seed_rate:
+            name = hostname(index)
+            index += 1
+            records.append(DnsRecord(name, "AAAA", addr))
+            if rng.random() < spec.ns_rate:
+                records.append(DnsRecord(name, "NS", addr))
+    # Stale DNS entries for retired hosts (reduced visibility).
+    for addr in sorted(network.retired_hosts):
+        if rng.random() < spec.seed_rate * 0.6:
+            records.append(DnsRecord(hostname(index), "AAAA", addr))
+            index += 1
+    # CDN customer hostnames inside aliased regions.  These resolve to
+    # *structured* addresses (per-customer chunks with varying low
+    # bits), which is what lets a density-driven TGA pour budget into
+    # aliased space — the effect behind the paper's 98 % aliased hits.
+    if spec.aliased_seed_count and network.aliased_regions:
+        per_region = max(1, spec.aliased_seed_count // len(network.aliased_regions))
+        for region in network.aliased_regions:
+            chunk_len = max(region.prefix.length + 8, 120)
+            chunk_count = max(1, min(8, region.prefix.size() >> (128 - chunk_len)))
+            chunks = [
+                Prefix.containing(region.prefix.random_address(rng).value, chunk_len)
+                for _ in range(chunk_count)
+            ]
+            for i in range(per_region):
+                chunk = chunks[i % len(chunks)]
+                low_bits = min(8, 128 - chunk.length)
+                addr = chunk.network | rng.getrandbits(low_bits)
+                records.append(DnsRecord(hostname(index), "AAAA", addr))
+                index += 1
+    return records
+
+
+def collect_seeds(internet: SimInternet, rng_seed: int = 7) -> SeedCollection:
+    """Fabricate the full FDNS snapshot for a simulated Internet.
+
+    Besides the per-network AAAA/NS records, hosts that run SMTP
+    (TCP/25 in the ground truth) may carry MX records — giving the
+    §6.7.1-style host-type experiments a second record type to slice
+    on.
+    """
+    rng = random.Random(rng_seed)
+    records: list[DnsRecord] = []
+    for network in internet.networks:
+        records.extend(collect_network_seeds(network, rng, start_index=len(records)))
+    smtp_hosts = internet.truth.hosts(25)
+    if smtp_hosts:
+        seen = {r.addr for r in records}
+        for i, addr in enumerate(sorted(smtp_hosts & seen)):
+            if rng.random() < 0.5:
+                records.append(DnsRecord(f"mail{i}.example", "MX", addr))
+    return SeedCollection(records=records)
+
+
+def seeds_of_type(
+    collection: SeedCollection, rtypes: Sequence[str]
+) -> list[int]:
+    """Unique addresses appearing in records of the given types."""
+    wanted = set(rtypes)
+    return sorted({r.addr for r in collection.records if r.rtype in wanted})

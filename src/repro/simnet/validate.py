@@ -1,0 +1,125 @@
+"""Validation for custom world specs.
+
+Custom worlds (``examples/custom_world.py``, world files) are easy to
+get subtly wrong: duplicate routed prefixes abort assembly late, and an
+aliased region placed over a host subnet silently turns real hosts into
+aliased responders.  :func:`validate_specs` checks a spec list before
+assembly and returns human-readable problems, split into hard errors
+(assembly would fail or the ground truth would be incoherent) and
+warnings (legal but probably unintended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ipv6.prefix import Prefix
+from .allocation import POLICY_CLASSES
+from .ground_truth import NetworkSpec
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    spec_index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] spec {self.spec_index}: {self.message}"
+
+
+def validate_specs(specs: Sequence[NetworkSpec]) -> list[Problem]:
+    """Check a spec list; returns problems (empty list = all good)."""
+    problems: list[Problem] = []
+    seen_prefixes: dict[Prefix, int] = {}
+
+    for i, spec in enumerate(specs):
+        def err(message: str) -> None:
+            problems.append(Problem("error", i, message))
+
+        def warn(message: str) -> None:
+            problems.append(Problem("warning", i, message))
+
+        # Routed prefix uniqueness (BgpTable.add would raise later).
+        if spec.routed_prefix in seen_prefixes:
+            err(
+                f"duplicate routed prefix {spec.routed_prefix} "
+                f"(first used by spec {seen_prefixes[spec.routed_prefix]})"
+            )
+        else:
+            seen_prefixes[spec.routed_prefix] = i
+
+        # Policy must exist.
+        if spec.policy_name not in POLICY_CLASSES:
+            err(f"unknown policy {spec.policy_name!r}")
+        else:
+            try:
+                POLICY_CLASSES[spec.policy_name](**spec.policy_kwargs)
+            except TypeError as exc:
+                err(f"bad policy kwargs for {spec.policy_name!r}: {exc}")
+
+        # Subnet geometry.
+        if spec.subnet_length < spec.routed_prefix.length:
+            err(
+                f"subnet length /{spec.subnet_length} shorter than routed "
+                f"prefix {spec.routed_prefix}"
+            )
+        if spec.host_count <= 0:
+            err(f"host_count must be positive: {spec.host_count}")
+        if spec.subnet_count <= 0:
+            err(f"subnet_count must be positive: {spec.subnet_count}")
+
+        # Rates.
+        for name, rate in (
+            ("seed_rate", spec.seed_rate),
+            ("churn_rate", spec.churn_rate),
+            ("ns_rate", spec.ns_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                err(f"{name} out of [0, 1]: {rate}")
+
+        # Aliased regions.
+        for length in spec.aliased_lengths:
+            if length <= spec.routed_prefix.length:
+                err(
+                    f"aliased region /{length} not inside routed prefix "
+                    f"{spec.routed_prefix}"
+                )
+        if spec.aliased_seed_count and not spec.aliased_lengths:
+            warn("aliased_seed_count set but no aliased regions declared")
+        if spec.aliased_lengths and not spec.aliased_seed_count:
+            warn(
+                "aliased regions declared without aliased seeds — no TGA "
+                "will ever steer budget into them"
+            )
+
+    # Cross-spec: routed prefixes nested inside other specs' prefixes
+    # are legal (LPM handles them) but usually unintended in a custom
+    # world; flag as warnings.
+    for i, spec in enumerate(specs):
+        for j, other in enumerate(specs):
+            if i == j:
+                continue
+            if (
+                spec.routed_prefix != other.routed_prefix
+                and other.routed_prefix.contains_prefix(spec.routed_prefix)
+                and spec.asn != other.asn
+            ):
+                problems.append(
+                    Problem(
+                        "warning",
+                        i,
+                        f"routed prefix {spec.routed_prefix} (AS{spec.asn}) is "
+                        f"nested inside {other.routed_prefix} "
+                        f"(AS{other.asn}, spec {j})",
+                    )
+                )
+    return problems
+
+
+def errors(problems: Sequence[Problem]) -> list[Problem]:
+    """Only the hard errors from a validation result."""
+    return [p for p in problems if p.severity == "error"]

@@ -1,0 +1,154 @@
+"""World-file serialization: save and reload simulated Internets.
+
+A *world file* is a JSON document capturing everything needed to
+recreate a :class:`~repro.simnet.ground_truth.SimInternet` exactly:
+the network specs, the RNG seed, and the service-port rates.  Because
+the builder is deterministic, storing the recipe (not the realised
+hosts) keeps files small while guaranteeing bit-identical worlds —
+the property the CLI relies on when `scan` and `dealias` run as
+separate processes.
+
+Format (version 1)::
+
+    {
+      "format": "repro-world",
+      "version": 1,
+      "rng_seed": 42,
+      "port_rates": {"443": 0.6, "25": 0.12, "22": 0.3},
+      "specs": [ {NetworkSpec fields...}, ... ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from ..ipv6.prefix import Prefix
+from .asn import AsRegistry
+from .ground_truth import (
+    DEFAULT_PORT_RATES,
+    NetworkSpec,
+    SimInternet,
+    assemble_internet,
+)
+
+FORMAT_NAME = "repro-world"
+FORMAT_VERSION = 1
+
+
+class WorldFileError(ValueError):
+    """Raised for malformed or unsupported world files."""
+
+
+def spec_to_dict(spec: NetworkSpec) -> dict[str, Any]:
+    """JSON-serialisable form of one network spec."""
+    return {
+        "asn": spec.asn,
+        "routed_prefix": str(spec.routed_prefix),
+        "policy_name": spec.policy_name,
+        "policy_kwargs": dict(spec.policy_kwargs),
+        "host_count": spec.host_count,
+        "subnet_count": spec.subnet_count,
+        "subnet_length": spec.subnet_length,
+        "sequential_subnets": spec.sequential_subnets,
+        "aliased_lengths": list(spec.aliased_lengths),
+        "aliased_seed_count": spec.aliased_seed_count,
+        "seed_rate": spec.seed_rate,
+        "churn_rate": spec.churn_rate,
+        "ns_rate": spec.ns_rate,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> NetworkSpec:
+    """Rebuild a network spec from its JSON form."""
+    try:
+        return NetworkSpec(
+            asn=int(data["asn"]),
+            routed_prefix=Prefix.parse(data["routed_prefix"]),
+            policy_name=data.get("policy_name", "low-byte"),
+            policy_kwargs=dict(data.get("policy_kwargs", {})),
+            host_count=int(data.get("host_count", 100)),
+            subnet_count=int(data.get("subnet_count", 4)),
+            subnet_length=int(data.get("subnet_length", 64)),
+            sequential_subnets=bool(data.get("sequential_subnets", True)),
+            aliased_lengths=tuple(int(x) for x in data.get("aliased_lengths", ())),
+            aliased_seed_count=int(data.get("aliased_seed_count", 0)),
+            seed_rate=float(data.get("seed_rate", 0.3)),
+            churn_rate=float(data.get("churn_rate", 0.05)),
+            ns_rate=float(data.get("ns_rate", 0.02)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorldFileError(f"invalid network spec: {exc}") from exc
+
+
+def save_world(
+    path: str | os.PathLike,
+    specs: list[NetworkSpec],
+    *,
+    rng_seed: int = 42,
+    port_rates: dict[int, float] | None = None,
+) -> None:
+    """Write a world file describing the given network specs."""
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "rng_seed": rng_seed,
+        "port_rates": {
+            str(port): rate
+            for port, rate in (port_rates or DEFAULT_PORT_RATES).items()
+        },
+        "specs": [spec_to_dict(spec) for spec in specs],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def save_internet(path: str | os.PathLike, internet: SimInternet) -> None:
+    """Write a world file that reproduces an assembled internet."""
+    save_world(
+        path,
+        [network.spec for network in internet.networks],
+        rng_seed=internet.rng_seed,
+    )
+
+
+def load_world(path: str | os.PathLike) -> SimInternet:
+    """Rebuild a simulated Internet from a world file.
+
+    The build is deterministic: loading the same file always yields the
+    identical ground truth.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise WorldFileError(f"not a JSON world file: {exc}") from exc
+    if document.get("format") != FORMAT_NAME:
+        raise WorldFileError(f"not a {FORMAT_NAME} file: {path}")
+    if document.get("version") != FORMAT_VERSION:
+        raise WorldFileError(
+            f"unsupported world-file version: {document.get('version')}"
+        )
+    specs = [spec_from_dict(d) for d in document.get("specs", [])]
+    if not specs:
+        raise WorldFileError("world file contains no network specs")
+    from .validate import errors, validate_specs
+
+    bad = errors(validate_specs(specs))
+    if bad:
+        raise WorldFileError(
+            "world file failed validation: " + "; ".join(str(p) for p in bad)
+        )
+    port_rates = {
+        int(port): float(rate)
+        for port, rate in document.get("port_rates", {}).items()
+    }
+    return assemble_internet(
+        specs,
+        AsRegistry.with_well_known(),
+        rng_seed=int(document.get("rng_seed", 42)),
+        extra_ports=port_rates or None,
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures: small simulated internets and seed sets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ipv6 import IPv6Addr
+from repro.simnet import collect_seeds, default_internet
+
+
+def addr(text: str) -> int:
+    """Parse IPv6 text into the integer form used internally."""
+    return IPv6Addr.parse(text).value
+
+
+@pytest.fixture(scope="session")
+def tiny_internet():
+    """A very small simulated Internet shared across tests."""
+    return default_internet(scale=0.05, rng_seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_seeds(tiny_internet):
+    """The FDNS seed snapshot of the tiny internet."""
+    return collect_seeds(tiny_internet, rng_seed=7)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture()
+def dense_block_seeds():
+    """Eight contiguous low-byte addresses plus one distant outlier."""
+    seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+    seeds.append(addr("2001:db8:ffff::1"))
+    return seeds

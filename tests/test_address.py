@@ -1,0 +1,208 @@
+"""Unit and property tests for IPv6 address parsing and formatting."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ipv6.address import (
+    AddressError,
+    IPv6Addr,
+    format_address_int,
+    iter_hitlist,
+    parse_address_int,
+    parse_hitlist_line,
+)
+
+
+class TestParsing:
+    def test_full_form(self):
+        value = parse_address_int("2001:0db8:0000:0000:0000:0000:0011:2222")
+        assert value == 0x20010DB8000000000000000000112222
+
+    def test_compressed_form(self):
+        assert parse_address_int("2001:db8::11:2222") == parse_address_int(
+            "2001:0db8:0000:0000:0000:0000:0011:2222"
+        )
+
+    def test_loopback(self):
+        assert parse_address_int("::1") == 1
+
+    def test_all_zero(self):
+        assert parse_address_int("::") == 0
+
+    def test_trailing_compression(self):
+        assert parse_address_int("2001:db8::") == 0x20010DB8 << 96
+
+    def test_uppercase(self):
+        assert parse_address_int("2001:DB8::AB") == parse_address_int("2001:db8::ab")
+
+    def test_embedded_ipv4(self):
+        assert parse_address_int("::ffff:192.0.2.1") == 0xFFFF_C0000201
+
+    def test_embedded_ipv4_with_groups(self):
+        value = parse_address_int("64:ff9b::192.0.2.33")
+        assert value == ipaddress.IPv6Address("64:ff9b::192.0.2.33")._ip
+
+    def test_rejects_double_double_colon(self):
+        with pytest.raises(AddressError):
+            parse_address_int("1::2::3")
+
+    def test_rejects_too_many_groups(self):
+        with pytest.raises(AddressError):
+            parse_address_int("1:2:3:4:5:6:7:8:9")
+
+    def test_rejects_too_few_groups(self):
+        with pytest.raises(AddressError):
+            parse_address_int("1:2:3")
+
+    def test_rejects_empty(self):
+        with pytest.raises(AddressError):
+            parse_address_int("")
+
+    def test_rejects_oversize_hextet(self):
+        with pytest.raises(AddressError):
+            parse_address_int("12345::")
+
+    def test_rejects_zone_identifier(self):
+        with pytest.raises(AddressError):
+            parse_address_int("fe80::1%eth0")
+
+    def test_rejects_bad_ipv4_octet(self):
+        with pytest.raises(AddressError):
+            parse_address_int("::ffff:192.0.2.256")
+
+    def test_rejects_noncompressing_double_colon(self):
+        # "::"" must replace at least one group
+        with pytest.raises(AddressError):
+            parse_address_int("1:2:3:4:5:6:7::8")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(AddressError):
+            parse_address_int("not-an-address")
+
+
+class TestFormatting:
+    def test_rfc5952_compression(self):
+        assert format_address_int(0x20010DB8000000000000000000112222) == "2001:db8::11:2222"
+
+    def test_single_zero_group_not_compressed(self):
+        value = parse_address_int("2001:db8:0:1:1:1:1:1")
+        assert format_address_int(value) == "2001:db8:0:1:1:1:1:1"
+
+    def test_leftmost_longest_run_wins(self):
+        value = parse_address_int("2001:0:0:1:0:0:0:1")
+        assert format_address_int(value) == "2001:0:0:1::1"
+
+    def test_all_zero(self):
+        assert format_address_int(0) == "::"
+
+    def test_exploded(self):
+        assert (
+            format_address_int(1, compress=False) == "0:0:0:0:0:0:0:1"
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_address_int(1 << 128)
+
+
+class TestIPv6Addr:
+    def test_parse_and_str(self):
+        assert str(IPv6Addr.parse("2001:DB8::1")) == "2001:db8::1"
+
+    def test_value_roundtrip(self):
+        a = IPv6Addr(12345)
+        assert IPv6Addr(a.value) == a
+
+    def test_equality_and_hash(self):
+        a = IPv6Addr.parse("::1")
+        b = IPv6Addr(1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IPv6Addr(2)
+
+    def test_not_equal_to_int(self):
+        assert IPv6Addr(1) != 1
+
+    def test_ordering(self):
+        assert IPv6Addr(1) < IPv6Addr(2) <= IPv6Addr(2)
+
+    def test_immutable(self):
+        a = IPv6Addr(1)
+        with pytest.raises(AttributeError):
+            a.value = 2
+
+    def test_nybbles(self):
+        a = IPv6Addr.parse("2001:db8::1")
+        assert a.nybble(0) == 2
+        assert a.nybble(31) == 1
+        assert len(a.nybbles()) == 32
+
+    def test_with_nybble(self):
+        a = IPv6Addr.parse("2001:db8::1")
+        assert a.with_nybble(31, 0xF) == IPv6Addr.parse("2001:db8::f")
+
+    def test_interface_and_network_id(self):
+        a = IPv6Addr.parse("2001:db8::42")
+        assert a.interface_id() == 0x42
+        assert a.network_id() == 0x20010DB800000000
+
+    def test_index_protocol(self):
+        assert int(IPv6Addr(7)) == 7
+        assert hex(IPv6Addr(255)) == "0xff"
+
+    def test_from_nybbles(self):
+        nybbles = [0] * 31 + [5]
+        assert IPv6Addr.from_nybbles(nybbles) == IPv6Addr(5)
+
+    def test_full_hex(self):
+        assert IPv6Addr(1).full_hex() == "0" * 31 + "1"
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            IPv6Addr("::1")  # type: ignore[arg-type]
+
+    def test_repr_parseable(self):
+        a = IPv6Addr.parse("2001:db8::1")
+        assert "2001:db8::1" in repr(a)
+
+
+class TestHitlistParsing:
+    def test_skips_comments_and_blanks(self):
+        lines = ["# comment", "", "2001:db8::1", "  ", "2001:db8::2"]
+        addrs = list(iter_hitlist(lines))
+        assert [str(a) for a in addrs] == ["2001:db8::1", "2001:db8::2"]
+
+    def test_parse_hitlist_line(self):
+        assert parse_hitlist_line("# x") is None
+        assert parse_hitlist_line("") is None
+        assert parse_hitlist_line(" ::1 ") == IPv6Addr(1)
+
+    def test_bad_line_raises(self):
+        with pytest.raises(AddressError):
+            list(iter_hitlist(["zzz"]))
+
+
+class TestAgainstStdlib:
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_format_matches_stdlib(self, value):
+        assert IPv6Addr(value).compressed() == str(ipaddress.IPv6Address(value))
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_parse_of_stdlib_output(self, value):
+        text = str(ipaddress.IPv6Address(value))
+        assert IPv6Addr.parse(text).value == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_exploded_parse_roundtrip(self, value):
+        assert IPv6Addr.parse(IPv6Addr(value).exploded()).value == value
+
+
+class TestPickling:
+    def test_round_trip(self):
+        import pickle
+
+        a = IPv6Addr.parse("2001:db8::1")
+        assert pickle.loads(pickle.dumps(a)) == a

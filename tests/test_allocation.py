@@ -1,0 +1,133 @@
+"""Tests for address-allocation policies (RFC 7707 practices)."""
+
+import pytest
+
+from repro.ipv6 import patterns
+from repro.ipv6.prefix import Prefix
+from repro.simnet.allocation import (
+    POLICY_CLASSES,
+    EUI64Policy,
+    HexWordPolicy,
+    IPv4EmbeddedPolicy,
+    LowBytePolicy,
+    PortEmbedPolicy,
+    PrivacyRandomPolicy,
+    SequentialPolicy,
+    allocate_subnets,
+    make_policy,
+)
+
+SUBNET = Prefix.parse("2001:db8:0:1::/64")
+
+
+class TestLowByte:
+    def test_sequential_dense(self, rng):
+        hosts = LowBytePolicy(bits=8).allocate(SUBNET, 10, rng)
+        assert hosts == {SUBNET.network | i for i in range(1, 11)}
+
+    def test_respects_bit_width(self, rng):
+        hosts = LowBytePolicy(bits=8, sequential=False).allocate(SUBNET, 50, rng)
+        assert all(patterns.is_low_byte(h, 8) for h in hosts)
+
+    def test_count_capped_by_space(self, rng):
+        hosts = LowBytePolicy(bits=4).allocate(SUBNET, 100, rng)
+        assert len(hosts) == 15  # 2**4 minus the zero start
+
+    def test_all_inside_subnet(self, rng):
+        for host in LowBytePolicy(bits=16, sequential=False).allocate(SUBNET, 30, rng):
+            assert SUBNET.contains(host)
+
+
+class TestSequential:
+    def test_pool_base(self, rng):
+        hosts = SequentialPolicy(pool_base=0x1000).allocate(SUBNET, 5, rng)
+        assert hosts == {SUBNET.network | (0x1000 + i) for i in range(5)}
+
+    def test_stride(self, rng):
+        hosts = SequentialPolicy(pool_base=0, stride=4).allocate(SUBNET, 4, rng)
+        assert hosts == {SUBNET.network | (i * 4) for i in range(4)}
+
+
+class TestEui64:
+    def test_shape(self, rng):
+        hosts = EUI64Policy(oui=0x001122).allocate(SUBNET, 20, rng)
+        assert len(hosts) == 20
+        for host in hosts:
+            assert patterns.is_eui64(host)
+            mac = patterns.mac_from_eui64_iid(patterns.interface_id(host))
+            assert mac is not None and mac >> 24 == 0x001122
+
+
+class TestPrivacyRandom:
+    def test_distinct_and_inside(self, rng):
+        hosts = PrivacyRandomPolicy().allocate(SUBNET, 50, rng)
+        assert len(hosts) == 50
+        assert all(SUBNET.contains(h) for h in hosts)
+
+
+class TestPortEmbed:
+    def test_ports_embedded(self, rng):
+        hosts = PortEmbedPolicy(ports=(80, 443)).allocate(SUBNET, 10, rng)
+        assert SUBNET.network | 0x80 in hosts
+        assert SUBNET.network | 0x443 in hosts
+        assert len(hosts) == 2
+
+
+class TestHexWord:
+    def test_words_visible(self, rng):
+        hosts = HexWordPolicy(words=("dead",)).allocate(SUBNET, 4, rng)
+        assert len(hosts) == 4
+        for host in hosts:
+            assert patterns.contains_hex_word(host) == "dead"
+
+
+class TestIPv4Embedded:
+    def test_sequential_v4(self, rng):
+        policy = IPv4EmbeddedPolicy(v4_base=0x0A000001)
+        hosts = policy.allocate(SUBNET, 3, rng)
+        assert hosts == {SUBNET.network | 0x0A000001,
+                         SUBNET.network | 0x0A000002,
+                         SUBNET.network | 0x0A000003}
+
+
+class TestFactory:
+    def test_all_registered(self):
+        assert set(POLICY_CLASSES) == {
+            "low-byte", "dhcpv6-sequential", "slaac-eui64", "privacy-random",
+            "port-embed", "hex-word", "ipv4-embed",
+        }
+
+    def test_make_with_kwargs(self):
+        policy = make_policy("low-byte", bits=16)
+        assert isinstance(policy, LowBytePolicy)
+        assert policy.bits == 16
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("nope")
+
+
+class TestAllocateSubnets:
+    def test_spreads_across_subnets(self, rng):
+        routed = Prefix.parse("2001:db8::/32")
+        hosts = allocate_subnets(routed, LowBytePolicy(), 40, 4, rng)
+        subnets = {h >> 64 for h in hosts}
+        assert len(subnets) == 4
+        assert all(routed.contains(h) for h in hosts)
+
+    def test_sequential_subnet_ids(self, rng):
+        routed = Prefix.parse("2001:db8::/32")
+        hosts = allocate_subnets(routed, LowBytePolicy(), 20, 2, rng)
+        subnet_ids = {(h >> 64) & 0xFFFFFFFF for h in hosts}
+        assert subnet_ids == {0, 1}
+
+    def test_long_routed_prefix(self, rng):
+        routed = Prefix.parse("2a00:0:0:8000::/66")
+        hosts = allocate_subnets(
+            routed, LowBytePolicy(), 10, 2, rng, subnet_length=96
+        )
+        assert all(routed.contains(h) for h in hosts)
+
+    def test_rejects_subnet_shorter_than_prefix(self, rng):
+        with pytest.raises(ValueError):
+            allocate_subnets(Prefix.parse("2001:db8::/48"), LowBytePolicy(), 5, 1, rng, subnet_length=32)

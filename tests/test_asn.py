@@ -1,0 +1,45 @@
+"""Tests for the AS registry."""
+
+import pytest
+
+from repro.simnet.asn import WELL_KNOWN_ASES, AsRegistry, AutonomousSystem
+
+
+class TestRegistry:
+    def test_well_known_present(self):
+        registry = AsRegistry.with_well_known()
+        assert registry.name_of(20940) == "Akamai"
+        assert registry.name_of(13335) == "Cloudflare"
+        assert len(registry) == len(WELL_KNOWN_ASES)
+
+    def test_unknown_fallback_name(self):
+        registry = AsRegistry()
+        assert registry.name_of(42) == "AS42"
+        assert registry.get(42) is None
+
+    def test_add_and_contains(self):
+        registry = AsRegistry()
+        registry.add(AutonomousSystem(7, "seven"))
+        assert 7 in registry
+        assert registry.get(7).name == "seven"
+
+    def test_duplicate_rejected(self):
+        registry = AsRegistry()
+        registry.add(AutonomousSystem(7, "seven"))
+        with pytest.raises(ValueError):
+            registry.add(AutonomousSystem(7, "again"))
+
+    def test_add_filler_skips_taken(self):
+        registry = AsRegistry()
+        registry.add(AutonomousSystem(200_000, "taken"))
+        added = registry.add_filler(3)
+        assert len(added) == 3
+        assert all(a.asn != 200_000 for a in added)
+        assert len(registry) == 4
+
+    def test_iteration(self):
+        registry = AsRegistry.with_well_known()
+        assert {a.asn for a in registry} == {a.asn for a in WELL_KNOWN_ASES}
+
+    def test_str(self):
+        assert str(AutonomousSystem(7, "seven")) == "AS7 (seven)"

@@ -1,0 +1,171 @@
+"""Tests for the comparator TGAs: Ullrich, RFC 7707 low-byte, random."""
+
+import random
+
+import pytest
+
+from repro.baselines.lowbyte import low_byte_neighbours, network_guesses, run_lowbyte
+from repro.baselines.random_gen import covering_prefix, run_random
+from repro.baselines.ullrich import BitRange, run_ullrich, ullrich_range
+from repro.ipv6.prefix import Prefix
+
+from conftest import addr
+
+
+class TestBitRange:
+    def test_from_prefix(self):
+        br = BitRange.from_prefix(Prefix.parse("2001:db8::/32"))
+        assert br.free_bits == 96
+        assert br.contains(addr("2001:db8::1"))
+        assert not br.contains(addr("2001:db9::1"))
+
+    def test_with_bit(self):
+        br = BitRange.from_prefix(Prefix.parse("2001:db8::/32"))
+        fixed = br.with_bit(0, 1)
+        assert fixed.free_bits == 95
+        assert fixed.contains(addr("2001:db8::1"))
+        assert not fixed.contains(addr("2001:db8::2"))
+
+    def test_with_bit_rejects_refixing(self):
+        br = BitRange.from_prefix(Prefix.parse("2001:db8::/32"))
+        with pytest.raises(ValueError):
+            br.with_bit(127, 0)
+
+    def test_rejects_value_outside_mask(self):
+        with pytest.raises(ValueError):
+            BitRange(0, 1)
+
+    def test_iter_ints(self):
+        br = BitRange(((1 << 126) - 1) << 2, addr("2001:db8::4"))
+        values = sorted(br.iter_ints())
+        base = addr("2001:db8::4")
+        assert values == [base, base + 1, base + 2, base + 3]
+
+    def test_sample_ints(self):
+        br = BitRange(((1 << 120) - 1) << 8, addr("2001:db8::"))
+        sample = br.sample_ints(50, random.Random(0))
+        assert len(sample) == len(set(sample)) == 50
+        assert all(br.contains(v) for v in sample)
+
+    def test_size(self):
+        assert BitRange((1 << 128) - 1, 0).size() == 1
+
+
+class TestUllrichRange:
+    def test_fixes_bits_toward_seeds(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+        start = BitRange.from_prefix(Prefix.parse("2001:db8::/32"))
+        final = ullrich_range(seeds, start, n_bits=4)
+        assert final.free_bits == 4
+        # the dense block must remain reachable
+        assert any(final.contains(s) for s in seeds)
+
+    def test_requires_determined_start(self):
+        with pytest.raises(ValueError):
+            ullrich_range([1], BitRange(0, 0), 4)
+
+    def test_rejects_bad_n_bits(self):
+        start = BitRange.from_prefix(Prefix.parse("2001:db8::/32"))
+        with pytest.raises(ValueError):
+            ullrich_range([1], start, 129)
+
+    def test_empty_seed_guidance_degenerates(self):
+        start = BitRange.from_prefix(Prefix.parse("2001:db8::/32"))
+        final = ullrich_range([addr("9999::1")], start, n_bits=90)
+        assert final.free_bits == 90
+
+    def test_deterministic(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+        start = BitRange.from_prefix(Prefix.parse("2001:db8::/32"))
+        a = ullrich_range(seeds, start, 8)
+        b = ullrich_range(seeds, start, 8)
+        assert a == b
+
+
+class TestRunUllrich:
+    def test_budget_respected(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 40)]
+        targets = run_ullrich(seeds, budget=100)
+        assert 0 < len(targets) <= 100
+
+    def test_recovers_dense_block(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 64, 2)]  # odds
+        targets = run_ullrich(seeds, budget=64)
+        evens = {addr(f"2001:db8::{i:x}") for i in range(2, 64, 2)}
+        assert targets & evens  # finds unseen neighbours
+
+    def test_empty_inputs(self):
+        assert run_ullrich([], 100) == set()
+        assert run_ullrich([1], 0) == set()
+
+
+class TestLowByte:
+    def test_neighbours_share_high_bits(self):
+        base = addr("2001:db8::1234")
+        for n in low_byte_neighbours(base, span=16):
+            assert n >> 8 == base >> 8
+
+    def test_network_guesses_inside_slash64(self):
+        base = addr("2001:db8:1:2::abcd")
+        for g in network_guesses(base):
+            assert g >> 64 == base >> 64
+
+    def test_run_budget_respected(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8:5::1")]
+        targets = run_lowbyte(seeds, budget=100)
+        assert len(targets) == 100
+        assert not (targets & set(seeds))
+
+    def test_spreads_across_networks(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db9::1")]
+        targets = run_lowbyte(seeds, budget=50)
+        nets = {t >> 64 for t in targets}
+        assert len(nets) == 2
+
+    def test_empty(self):
+        assert run_lowbyte([], 10) == set()
+        assert run_lowbyte([1], 0) == set()
+
+    def test_finds_well_known_hosts(self):
+        seeds = [addr("2001:db8::99")]
+        targets = run_lowbyte(seeds, budget=400)
+        assert addr("2001:db8::1") in targets
+        assert addr("2001:db8::80") in targets  # embedded HTTP port
+
+
+class TestRandomBaseline:
+    def test_covering_prefix(self):
+        p = covering_prefix([addr("2001:db8::1"), addr("2001:db8:ffff::1")])
+        assert p.contains(addr("2001:db8::1"))
+        assert p.contains(addr("2001:db8:ffff::1"))
+        assert p.length <= 32
+
+    def test_covering_prefix_single(self):
+        p = covering_prefix([addr("::1")])
+        assert p.length == 128
+
+    def test_covering_prefix_empty(self):
+        with pytest.raises(ValueError):
+            covering_prefix([])
+
+    def test_run_random_budget(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::ff")]
+        targets = run_random(seeds, budget=200)
+        assert len(targets) == 200
+        assert not (targets & set(seeds))
+        p = covering_prefix(seeds)
+        assert all(p.contains(t) for t in targets)
+
+    def test_run_random_small_space(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::2")]
+        prefix = Prefix.parse("2001:db8::/124")
+        targets = run_random(seeds, budget=100, prefix=prefix)
+        # only 14 non-seed addresses exist in the /124
+        assert len(targets) == 14
+
+    def test_deterministic(self):
+        seeds = [addr("2001:db8::1")]
+        prefix = Prefix.parse("2001:db8::/96")
+        a = run_random(seeds, 50, prefix=prefix, rng_seed=1)
+        b = run_random(seeds, 50, prefix=prefix, rng_seed=1)
+        assert a == b

@@ -1,0 +1,82 @@
+"""Tests for the BGP table substrate."""
+
+import pytest
+
+from repro.ipv6.prefix import Prefix
+from repro.simnet.bgp import BgpTable, Route, group_by_asn, group_by_routed_prefix
+
+from conftest import addr
+
+
+def _table():
+    table = BgpTable()
+    table.add_route(Prefix.parse("2001:db8::/32"), 100)
+    table.add_route(Prefix.parse("2001:db8:1::/48"), 200)  # more specific
+    table.add_route(Prefix.parse("2600::/24"), 300)
+    table.add_route(Prefix.parse("2a00:0:0:8000::/66"), 400)  # >64-bit prefix
+    return table
+
+
+class TestLookup:
+    def test_basic_match(self):
+        assert _table().origin_asn(addr("2001:db8:ffff::1")) == 100
+
+    def test_longest_prefix_wins(self):
+        assert _table().origin_asn(addr("2001:db8:1::5")) == 200
+
+    def test_no_match(self):
+        assert _table().lookup(addr("3000::1")) is None
+
+    def test_long_prefix_supported(self):
+        # the paper notes routed prefixes longer than 64 bits exist
+        table = _table()
+        assert table.origin_asn(addr("2a00:0:0:8000::1")) == 400
+        assert table.origin_asn(addr("2a00:0:0:c000::1")) is None
+
+    def test_route_object(self):
+        route = _table().lookup(addr("2600::1"))
+        assert route == Route(Prefix.parse("2600::/24"), 300)
+        assert "AS300" in str(route)
+
+
+class TestMutation:
+    def test_duplicate_rejected(self):
+        table = _table()
+        with pytest.raises(ValueError):
+            table.add_route(Prefix.parse("2001:db8::/32"), 999)
+
+    def test_len_and_iter(self):
+        table = _table()
+        assert len(table) == 4
+        assert len(list(table)) == 4
+        assert table.asns() == {100, 200, 300, 400}
+
+    def test_routes_sorted(self):
+        routes = _table().routes()
+        keys = [(r.prefix.network, r.prefix.length) for r in routes]
+        assert keys == sorted(keys)
+
+
+class TestGrouping:
+    def test_group_by_routed_prefix(self):
+        table = _table()
+        addrs = [
+            addr("2001:db8::1"),
+            addr("2001:db8::2"),
+            addr("2001:db8:1::1"),
+            addr("9999::1"),  # unrouted, dropped
+        ]
+        groups = group_by_routed_prefix(addrs, table)
+        assert len(groups) == 2
+        assert sorted(groups[Prefix.parse("2001:db8::/32")]) == [
+            addr("2001:db8::1"),
+            addr("2001:db8::2"),
+        ]
+        assert groups[Prefix.parse("2001:db8:1::/48")] == [addr("2001:db8:1::1")]
+
+    def test_group_by_asn(self):
+        table = _table()
+        addrs = [addr("2001:db8::1"), addr("2600::1"), addr("2600::2")]
+        groups = group_by_asn(addrs, table)
+        assert len(groups[300]) == 2
+        assert len(groups[100]) == 1

@@ -1,0 +1,86 @@
+"""Tests for candidate-seed search (FindCandidateSeeds, §5.4)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import SeedMatrix, find_candidates_python
+from repro.ipv6.distance import range_distance
+from repro.ipv6.range_ import NybbleRange
+
+from conftest import addr
+
+addresses = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestSeedMatrix:
+    def test_distances_to_range(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::1f"), addr("2001:db9::1")]
+        matrix = SeedMatrix(seeds)
+        r = NybbleRange.parse("2001:db8::?")
+        distances = matrix.distances_to_range(r)
+        assert list(distances) == [range_distance(r, s) for s in seeds]
+        assert list(distances) == [0, 1, 1]
+
+    def test_distances_to_seed(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::2"), addr("2001:db8::12")]
+        matrix = SeedMatrix(seeds)
+        assert list(matrix.distances_to_seed(0)) == [0, 1, 2]
+
+    def test_min_positive_candidates(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::2"), addr("2001:db9::1")]
+        matrix = SeedMatrix(seeds)
+        r = NybbleRange.from_address(seeds[0])
+        dist, indices = matrix.min_positive_candidates(r)
+        assert dist == 1
+        assert indices == [1, 2]  # ::2 and db9::1 are both one nybble away
+
+    def test_all_inside_returns_empty(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::2")]
+        matrix = SeedMatrix(seeds)
+        dist, indices = matrix.min_positive_candidates(NybbleRange.parse("2001:db8::?"))
+        assert dist == 0 and indices == []
+
+    def test_accessors(self):
+        seeds = [addr("::1"), addr("::2")]
+        matrix = SeedMatrix(seeds)
+        assert len(matrix) == 2
+        assert matrix.seed(1) == addr("::2")
+        assert matrix.seeds == seeds
+
+
+class TestPythonFallbackEquivalence:
+    @settings(max_examples=25)
+    @given(st.lists(addresses, min_size=1, max_size=25, unique=True), addresses)
+    def test_matches_numpy(self, seeds, pivot):
+        r = NybbleRange.from_address(seeds[0]).span_loose(pivot)
+        matrix = SeedMatrix(seeds)
+        np_dist, np_idx = matrix.min_positive_candidates(r)
+        py_dist, py_idx = find_candidates_python(r, seeds)
+        assert np_dist == py_dist
+        assert np_idx == py_idx
+
+    @settings(max_examples=25)
+    @given(st.lists(addresses, min_size=2, max_size=25, unique=True))
+    def test_candidates_attain_min_distance(self, seeds):
+        r = NybbleRange.from_address(seeds[0])
+        dist, indices = find_candidates_python(r, seeds)
+        assert dist > 0
+        for i in indices:
+            assert range_distance(r, seeds[i]) == dist
+        for i in range(len(seeds)):
+            d = range_distance(r, seeds[i])
+            if d > 0:
+                assert d >= dist
+
+
+class TestScaling:
+    def test_large_matrix(self):
+        rng = random.Random(0)
+        seeds = list({rng.getrandbits(128) for _ in range(2000)})
+        matrix = SeedMatrix(seeds)
+        r = NybbleRange.from_address(seeds[0])
+        dist, indices = matrix.min_positive_candidates(r)
+        assert dist >= 1
+        assert indices

@@ -1,0 +1,75 @@
+"""Tests for the synthetic CDN datasets (§7 comparison inputs)."""
+
+import pytest
+
+from repro.datasets.cdn import all_cdns, build_cdn, build_cdn3, build_cdn4
+
+
+class TestConstruction:
+    def test_all_five(self):
+        cdns = all_cdns(dataset_size=500)
+        assert [c.name for c in cdns] == ["CDN1", "CDN2", "CDN3", "CDN4", "CDN5"]
+
+    def test_dataset_size(self):
+        cdn = build_cdn(1, dataset_size=500)
+        assert len(cdn.addresses) == 500
+
+    def test_dataset_sample_of_population(self):
+        for cdn in all_cdns(dataset_size=300):
+            hosts = cdn.truth.hosts(80)
+            assert set(cdn.addresses) <= hosts
+            assert cdn.population_size >= len(cdn.addresses)
+
+    def test_addresses_inside_prefix(self):
+        for cdn in all_cdns(dataset_size=200):
+            assert all(cdn.prefix.contains(a) for a in cdn.addresses)
+
+    def test_bgp_routes_prefix(self):
+        cdn = build_cdn(2, dataset_size=200)
+        assert cdn.bgp.origin_asn(cdn.addresses[0]) is not None
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            build_cdn(0)
+        with pytest.raises(ValueError):
+            build_cdn(6)
+
+    def test_deterministic(self):
+        assert build_cdn(3, 300).addresses == build_cdn(3, 300).addresses
+
+
+class TestRegimes:
+    def test_cdn4_aliased_ground_truth(self):
+        cdn = build_cdn4(dataset_size=300)
+        assert len(cdn.truth.aliased) > 0
+        # an arbitrary address near the hosts responds (aliasing)
+        probe = cdn.prefix.network | 0x999999
+        assert cdn.truth.is_responsive(probe, 80)
+
+    def test_other_cdns_not_aliased(self):
+        for index in (1, 2, 3, 5):
+            cdn = build_cdn(index, dataset_size=200)
+            assert len(cdn.truth.aliased) == 0
+
+    def test_cdn3_subnet_correlation(self):
+        cdn = build_cdn3(dataset_size=2000)
+        for a in cdn.addresses:
+            subnet = (a >> 64) & 0xFF
+            base = (a >> 8) & 0xF
+            assert base == (subnet * 7) % 16
+
+    def test_cdn1_high_entropy(self):
+        from repro.entropyip.entropy import nybble_entropies
+
+        cdn = build_cdn(1, dataset_size=2000)
+        entropies = nybble_entropies(cdn.addresses)
+        # beyond the /32 prefix everything is random
+        assert all(h > 0.9 for h in entropies[8:])
+
+    def test_cdn5_low_entropy_structure(self):
+        from repro.entropyip.entropy import nybble_entropies
+
+        cdn = build_cdn(5, dataset_size=2000)
+        entropies = nybble_entropies(cdn.addresses)
+        # the middle of the address is fixed zeros
+        assert entropies[20] == 0.0

@@ -1,0 +1,210 @@
+"""Tests for the repro6 command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.hitlist import read_hitlist_ints, write_hitlist
+
+from conftest import addr
+
+
+@pytest.fixture()
+def seed_file(tmp_path):
+    path = tmp_path / "seeds.txt"
+    seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+    write_hitlist(path, seeds)
+    return path
+
+
+class TestParser:
+    def test_subcommands_present(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("6gen", "entropy-ip", "scan", "dealias", "simulate", "experiment"):
+            assert command in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSixGenCommand:
+    def test_generates_targets(self, seed_file, tmp_path, capsys):
+        out = tmp_path / "targets.txt"
+        code = main(["6gen", str(seed_file), str(out), "--budget", "16"])
+        assert code == 0
+        targets = read_hitlist_ints(out)
+        # the 8 seeds unify into 2001:db8::? (16 addresses) and the run
+        # stops — all seeds are in a single cluster
+        assert len(targets) == 16
+        assert {addr(f"2001:db8::{i:x}") for i in range(1, 9)} <= set(targets)
+        captured = capsys.readouterr().out
+        assert "seeds: 8" in captured
+
+    def test_tight_mode(self, seed_file, tmp_path):
+        out = tmp_path / "targets.txt"
+        assert main(["6gen", str(seed_file), str(out), "--budget", "8", "--tight"]) == 0
+
+    def test_show_clusters(self, seed_file, tmp_path, capsys):
+        out = tmp_path / "targets.txt"
+        main(["6gen", str(seed_file), str(out), "--budget", "16", "--show-clusters", "2"])
+        assert "Cluster(" in capsys.readouterr().out
+
+    def test_empty_input_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing\n")
+        out = tmp_path / "targets.txt"
+        assert main(["6gen", str(empty), str(out)]) == 1
+
+
+class TestEntropyIpCommand:
+    def test_generates(self, tmp_path, capsys):
+        seeds_path = tmp_path / "seeds.txt"
+        seeds = [addr(f"2001:db8:{x:x}::{y:x}") for x in range(4) for y in range(1, 30)]
+        write_hitlist(seeds_path, seeds)
+        out = tmp_path / "targets.txt"
+        assert main(["entropy-ip", str(seeds_path), str(out), "--budget", "100"]) == 0
+        assert len(read_hitlist_ints(out)) == 100
+
+
+class TestScanDealiasCommands:
+    def test_scan_and_dealias_round_trip(self, tmp_path, capsys):
+        seeds_out = tmp_path / "seeds.txt"
+        assert main(["simulate", "--scale", "0.05", "--output", str(seeds_out)]) == 0
+        hits_out = tmp_path / "hits.txt"
+        assert main([
+            "scan", str(seeds_out), "--scale", "0.05", "--output", str(hits_out)
+        ]) == 0
+        assert main(["dealias", str(hits_out), "--scale", "0.05"]) == 0
+        captured = capsys.readouterr().out
+        assert "hits:" in captured
+        assert "clean hits:" in captured
+
+
+class TestExperimentCommand:
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+
+class TestWorldFileWorkflow:
+    def test_save_and_reuse_world(self, tmp_path, capsys):
+        world = tmp_path / "world.json"
+        seeds_out = tmp_path / "seeds.txt"
+        assert main([
+            "simulate", "--scale", "0.05",
+            "--output", str(seeds_out), "--save-world", str(world),
+        ]) == 0
+        assert world.exists()
+        hits_out = tmp_path / "hits.txt"
+        assert main([
+            "scan", str(seeds_out), "--world", str(world),
+            "--output", str(hits_out),
+        ]) == 0
+        # scanning the seeds against the *same* world finds live hosts
+        assert len(read_hitlist_ints(hits_out)) > 0
+
+    def test_ranges_output(self, seed_file, tmp_path, capsys):
+        out = tmp_path / "targets.txt"
+        ranges = tmp_path / "ranges.txt"
+        assert main([
+            "6gen", str(seed_file), str(out), "--budget", "16",
+            "--ranges-output", str(ranges),
+        ]) == 0
+        from repro.datasets.rangelist import read_rangelist
+
+        parsed = read_rangelist(ranges)
+        assert parsed  # at least the unified cluster
+        assert any(r.size() == 16 for r in parsed)
+
+
+class TestAdaptiveCommand:
+    def test_adaptive_scan(self, tmp_path, capsys):
+        world = tmp_path / "world.json"
+        seeds_out = tmp_path / "seeds.txt"
+        main([
+            "simulate", "--scale", "0.05",
+            "--output", str(seeds_out), "--save-world", str(world),
+        ])
+        hits_out = tmp_path / "ahits.txt"
+        assert main([
+            "adaptive", str(seeds_out), "--world", str(world),
+            "--budget", "1000", "--output", str(hits_out),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "probes used:" in captured
+        assert "rounds run:" in captured
+
+    def test_adaptive_empty_seeds_fails(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# none\n")
+        assert main(["adaptive", str(empty), "--scale", "0.05"]) == 1
+
+
+class TestValidateCommand:
+    def test_valid_world(self, tmp_path, capsys):
+        world = tmp_path / "world.json"
+        main(["simulate", "--scale", "0.05", "--save-world", str(world)])
+        capsys.readouterr()
+        assert main(["validate", str(world)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_invalid_world(self, tmp_path, capsys):
+        import json
+
+        world = tmp_path / "bad.json"
+        main(["simulate", "--scale", "0.05", "--save-world", str(world)])
+        doc = json.loads(world.read_text())
+        doc["specs"].append(dict(doc["specs"][0]))  # duplicate prefix
+        world.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["validate", str(world)]) == 1
+        assert "duplicate routed prefix" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/world.json"]) == 1
+
+
+class TestCompareCommand:
+    def test_compare_runs_all_algorithms(self, tmp_path, capsys):
+        world = tmp_path / "world.json"
+        seeds_out = tmp_path / "seeds.txt"
+        main([
+            "simulate", "--scale", "0.05",
+            "--output", str(seeds_out), "--save-world", str(world),
+        ])
+        capsys.readouterr()
+        assert main([
+            "compare", str(seeds_out), "--world", str(world),
+            "--budget", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        for name in ("6Gen", "Entropy/IP", "Ullrich", "MRA", "random"):
+            assert name in out
+
+
+class TestExperimentRegistry:
+    def test_all_names_are_parser_choices(self):
+        from repro.cli import _EXPERIMENTS
+
+        parser = build_parser()
+        # parsing any registered experiment name must succeed
+        for name in _EXPERIMENTS:
+            args = parser.parse_args(["experiment", name])
+            assert args.name == name
+
+    def test_main_module_entrypoint(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "6gen" in result.stdout

@@ -1,0 +1,65 @@
+"""Tests for cluster and growth records."""
+
+from fractions import Fraction
+
+from repro.core.cluster import Cluster, Growth
+from repro.ipv6.nybble_tree import NybbleTree
+from repro.ipv6.range_ import NybbleRange
+
+from conftest import addr
+
+
+class TestCluster:
+    def test_density_exact(self):
+        c = Cluster(NybbleRange.parse("2001:db8::?"), 4)
+        assert c.density() == Fraction(4, 16)
+
+    def test_singleton(self):
+        c = Cluster(NybbleRange.from_address(addr("::1")), 1)
+        assert c.is_singleton()
+        grown = Cluster(NybbleRange.parse("::?"), 2)
+        assert not grown.is_singleton()
+
+    def test_seed_reconstruction(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::5"), addr("2001:db9::1")]
+        tree = NybbleTree(seeds)
+        c = Cluster(NybbleRange.parse("2001:db8::?"), 2)
+        assert sorted(c.seeds(tree)) == sorted(seeds[:2])
+
+    def test_str(self):
+        c = Cluster(NybbleRange.parse("2001:db8::?"), 4)
+        text = str(c)
+        assert "seeds=4" in text and "size=16" in text
+
+
+class TestGrowthOrdering:
+    def _growth(self, text, count, salt=0.5):
+        return Growth(NybbleRange.parse(text), count, salt)
+
+    def test_higher_density_wins(self):
+        dense = self._growth("2001:db8::?", 8)
+        sparse = self._growth("2001:db8::?", 2)
+        assert dense.sort_key() > sparse.sort_key()
+
+    def test_equal_density_smaller_range_wins(self):
+        # both density 1/4, but the smaller range conserves budget
+        small = self._growth("2001:db8::[0-3]", 1)
+        large = self._growth("2001:db8::??", 64)
+        assert small.density() == large.density()
+        assert small.sort_key() > large.sort_key()
+
+    def test_salt_breaks_remaining_ties(self):
+        a = Growth(NybbleRange.parse("2001:db8::?"), 4, salt=0.9)
+        b = Growth(NybbleRange.parse("2001:db9::?"), 4, salt=0.1)
+        assert a.sort_key() > b.sort_key()
+
+    def test_density_fraction_no_float_loss(self):
+        # Densities that would collide in floating point stay distinct.
+        big = 16**20
+        a = Growth(NybbleRange.parse("2001:db8::" + "?" * 4), 1, 0.0)
+        assert a.density() == Fraction(1, 16**4)
+        assert Fraction(1, big) != Fraction(1, big + 1)
+
+    def test_range_size_property(self):
+        g = self._growth("2001:db8::??", 5)
+        assert g.range_size == 256

@@ -1,0 +1,110 @@
+"""Tests for the nybble Hamming distance metric (paper §5.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ipv6.distance import (
+    addr_distance,
+    bit_distance,
+    range_distance,
+    range_range_distance,
+)
+from repro.ipv6.range_ import NybbleRange
+
+from conftest import addr
+
+addresses = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestPaperExamples:
+    def test_section52_one_nybble(self):
+        # "the distance between 2001:db8::58 and 2001:db8::51 is one"
+        assert addr_distance(addr("2001:db8::58"), addr("2001:db8::51")) == 1
+
+    def test_section52_wildcard_zero(self):
+        # "the distance between 2001:db8::51 and 2001:db8::5? is zero"
+        r = NybbleRange.parse("2001:db8::5?")
+        assert range_distance(r, addr("2001:db8::51")) == 0
+
+    def test_section52_bit_vs_nybble(self):
+        # §5.2's point: pairs with comparable *bit* distance can differ
+        # sharply in nybble distance — (2::, 2::3) is intuitively more
+        # similar than (2::20, 201::), and the nybble metric says so.
+        close_pair = bit_distance(addr("2::"), addr("2::3"))
+        far_pair = bit_distance(addr("2::20"), addr("201::"))
+        assert abs(close_pair - far_pair) <= 2  # comparable at bit level
+        assert addr_distance(addr("2::"), addr("2::3")) == 1
+        assert addr_distance(addr("2::20"), addr("201::")) == 3
+
+
+class TestAddrDistance:
+    def test_identity(self):
+        assert addr_distance(addr("2001:db8::1"), addr("2001:db8::1")) == 0
+
+    def test_max(self):
+        a = int("1" * 32, 16)
+        b = int("2" * 32, 16)
+        assert addr_distance(a, b) == 32
+
+    def test_equals_newly_dynamic_nybbles(self):
+        # §5.2: distance equals the number of nybbles that would become
+        # newly dynamic when clustering the two addresses.
+        a, b = addr("2001:db8::58"), addr("2001:db8:4::51")
+        r = NybbleRange.from_address(a)
+        grown = r.span_loose(b)
+        newly_dynamic = len(grown.dynamic_positions()) - len(r.dynamic_positions())
+        assert addr_distance(a, b) == newly_dynamic
+
+
+class TestMetricAxioms:
+    @given(addresses, addresses)
+    def test_symmetry(self, a, b):
+        assert addr_distance(a, b) == addr_distance(b, a)
+
+    @given(addresses, addresses)
+    def test_identity_of_indiscernibles(self, a, b):
+        assert (addr_distance(a, b) == 0) == (a == b)
+
+    @given(addresses, addresses, addresses)
+    def test_triangle_inequality(self, a, b, c):
+        assert addr_distance(a, c) <= addr_distance(a, b) + addr_distance(b, c)
+
+    @given(addresses, addresses)
+    def test_bounds(self, a, b):
+        assert 0 <= addr_distance(a, b) <= 32
+        assert 0 <= bit_distance(a, b) <= 128
+
+    @given(addresses, addresses)
+    def test_nybble_at_most_bit_distance(self, a, b):
+        assert addr_distance(a, b) <= bit_distance(a, b)
+
+
+class TestRangeDistance:
+    def test_zero_iff_contained(self):
+        r = NybbleRange.parse("2001:db8::?")
+        assert range_distance(r, addr("2001:db8::a")) == 0
+        assert range_distance(r, addr("2001:db8::1f")) == 1
+
+    def test_matches_addr_distance_for_singleton(self):
+        a, b = addr("2001:db8::58"), addr("2001:db9::51")
+        assert range_distance(NybbleRange.from_address(a), b) == addr_distance(a, b)
+
+    @given(addresses, addresses)
+    def test_singleton_range_equals_addr_distance(self, a, b):
+        assert range_distance(NybbleRange.from_address(a), b) == addr_distance(a, b)
+
+    @given(addresses, addresses, addresses)
+    def test_growing_never_increases_distance(self, a, b, c):
+        r = NybbleRange.from_address(a)
+        grown = r.span_loose(b)
+        assert range_distance(grown, c) <= range_distance(r, c)
+
+
+class TestRangeRangeDistance:
+    def test_zero_iff_overlap(self):
+        a = NybbleRange.parse("2001:db8::[1-5]")
+        b = NybbleRange.parse("2001:db8::[5-9]")
+        c = NybbleRange.parse("2001:db8::[a-f]")
+        assert range_range_distance(a, b) == 0
+        assert range_range_distance(a, c) == 1
+        assert a.overlaps(b) == (range_range_distance(a, b) == 0)

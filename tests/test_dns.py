@@ -1,0 +1,110 @@
+"""Tests for the simulated FDNS seed collection."""
+
+import random
+
+from repro.simnet.dns import (
+    DnsRecord,
+    SeedCollection,
+    collect_network_seeds,
+    collect_seeds,
+    seeds_of_type,
+)
+
+from conftest import addr
+
+
+class TestSeedCollection:
+    def _collection(self):
+        return SeedCollection(
+            records=[
+                DnsRecord("a.example", "AAAA", addr("2001:db8::1")),
+                DnsRecord("a.example", "NS", addr("2001:db8::1")),
+                DnsRecord("b.example", "AAAA", addr("2001:db8::2")),
+                DnsRecord("c.example", "AAAA", addr("2001:db8::2")),  # duplicate addr
+            ]
+        )
+
+    def test_addresses_unique_sorted(self):
+        collection = self._collection()
+        assert collection.addresses() == [addr("2001:db8::1"), addr("2001:db8::2")]
+
+    def test_ns_addresses(self):
+        assert self._collection().ns_addresses() == [addr("2001:db8::1")]
+
+    def test_len_iter(self):
+        collection = self._collection()
+        assert len(collection) == 4
+        assert len(list(collection)) == 4
+
+    def test_downsample(self):
+        collection = self._collection()
+        sampled = collection.downsample(0.5, rng_seed=0)
+        assert len(sampled) == 2
+        assert set(r.name for r in sampled) <= set(r.name for r in collection)
+
+    def test_downsample_bounds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self._collection().downsample(0.0)
+        with pytest.raises(ValueError):
+            self._collection().downsample(1.5)
+
+    def test_seeds_of_type(self):
+        collection = self._collection()
+        assert seeds_of_type(collection, ["NS"]) == [addr("2001:db8::1")]
+        assert seeds_of_type(collection, ["AAAA", "NS"]) == collection.addresses()
+
+    def test_record_str(self):
+        record = DnsRecord("a.example", "AAAA", addr("2001:db8::1"))
+        assert str(record) == "a.example AAAA 2001:db8::1"
+
+
+class TestCollection:
+    def test_collect_from_internet(self, tiny_internet, tiny_seeds):
+        assert len(tiny_seeds) > 100
+        addresses = tiny_seeds.addresses()
+        # most seeds should be routed
+        routed = sum(
+            1 for a in addresses if tiny_internet.bgp.origin_asn(a) is not None
+        )
+        assert routed == len(addresses)
+
+    def test_seed_rate_zero_yields_no_host_seeds(self, tiny_internet):
+        network = tiny_internet.networks[0]
+        original_rate = network.spec.seed_rate
+        network.spec.seed_rate = 0.0
+        try:
+            records = collect_network_seeds(network, random.Random(0))
+            host_records = [r for r in records if r.addr in network.active_hosts]
+            assert not host_records
+        finally:
+            network.spec.seed_rate = original_rate
+
+    def test_aliased_seeds_present(self, tiny_internet, tiny_seeds):
+        aliased_seed_count = sum(
+            1 for a in tiny_seeds.addresses() if tiny_internet.truth.is_aliased(a)
+        )
+        assert aliased_seed_count > 10
+
+    def test_retired_hosts_can_be_seeds(self, tiny_internet, tiny_seeds):
+        retired = set()
+        for network in tiny_internet.networks:
+            retired |= network.retired_hosts
+        stale_seeds = set(tiny_seeds.addresses()) & retired
+        # churn modelling: some seeds are no longer responsive
+        assert stale_seeds
+
+    def test_ns_records_subset_of_aaaa(self, tiny_seeds):
+        assert set(tiny_seeds.ns_addresses()) <= set(tiny_seeds.addresses())
+        assert 0 < len(tiny_seeds.ns_addresses()) < len(tiny_seeds.addresses())
+
+    def test_deterministic(self, tiny_internet):
+        a = collect_seeds(tiny_internet, rng_seed=5)
+        b = collect_seeds(tiny_internet, rng_seed=5)
+        assert a.addresses() == b.addresses()
+
+    def test_different_rng_differs(self, tiny_internet):
+        a = collect_seeds(tiny_internet, rng_seed=5)
+        b = collect_seeds(tiny_internet, rng_seed=6)
+        assert a.addresses() != b.addresses()

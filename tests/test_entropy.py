@@ -1,0 +1,71 @@
+"""Tests for Entropy/IP stage 1: per-nybble entropy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropyip.entropy import (
+    nybble_entropies,
+    nybble_value_counts,
+    shannon_entropy,
+)
+from collections import Counter
+
+from conftest import addr
+
+
+class TestShannonEntropy:
+    def test_empty(self):
+        assert shannon_entropy(Counter()) == 0.0
+
+    def test_single_value(self):
+        assert shannon_entropy(Counter({3: 10})) == 0.0
+
+    def test_uniform_two(self):
+        assert shannon_entropy(Counter({0: 5, 1: 5})) == pytest.approx(1.0)
+
+    def test_uniform_sixteen(self):
+        assert shannon_entropy(Counter({v: 1 for v in range(16)})) == pytest.approx(4.0)
+
+    def test_skewed_below_uniform(self):
+        skewed = shannon_entropy(Counter({0: 9, 1: 1}))
+        assert 0 < skewed < 1.0
+
+
+class TestNybbleValueCounts:
+    def test_counts_positions_independently(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::2")]
+        counters = nybble_value_counts(seeds)
+        assert counters[0] == Counter({2: 2})
+        assert counters[31] == Counter({1: 1, 2: 1})
+
+    def test_total_per_position_equals_seed_count(self):
+        seeds = [addr("::1"), addr("::2"), addr("::3")]
+        for counter in nybble_value_counts(seeds):
+            assert sum(counter.values()) == 3
+
+
+class TestNybbleEntropies:
+    def test_constant_prefix_zero_entropy(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(16)]
+        entropies = nybble_entropies(seeds)
+        assert entropies[0] == 0.0
+        assert entropies[7] == 0.0
+        assert entropies[31] == pytest.approx(1.0)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            nybble_entropies([])
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1), min_size=1, max_size=30))
+    def test_bounds(self, seeds):
+        for h in nybble_entropies(seeds):
+            assert 0.0 <= h <= 1.0 + 1e-12
+
+    def test_monotone_under_duplication(self):
+        # Duplicating the seed set never changes the distribution.
+        seeds = [addr("::1"), addr("::2"), addr("::ab")]
+        assert nybble_entropies(seeds) == pytest.approx(nybble_entropies(seeds * 3))

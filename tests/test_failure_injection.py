@@ -1,0 +1,120 @@
+"""Failure-injection tests: probe loss and hostile inputs.
+
+The scan substrate models an unreliable network path; these tests
+verify the pipeline degrades gracefully rather than crashing or
+silently misclassifying when probes are dropped, when blacklists
+swallow whole networks, and when inputs are adversarially shaped.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sixgen import run_6gen
+from repro.ipv6.prefix import Prefix
+from repro.scanner.blacklist import Blacklist
+from repro.scanner.dealias import dealias, is_prefix_aliased
+from repro.scanner.engine import Scanner
+from repro.simnet.aliasing import AliasedRegionSet
+from repro.simnet.ground_truth import GroundTruth
+
+from conftest import addr
+
+
+def _world(hosts=(), aliased=(), loss_rate=0.0, blacklist=None):
+    regions = AliasedRegionSet()
+    for prefix in aliased:
+        regions.add_prefix(Prefix.parse(prefix))
+    truth = GroundTruth({80: set(hosts)}, regions)
+    return Scanner(truth, loss_rate=loss_rate, blacklist=blacklist, rng_seed=0)
+
+
+class TestProbeLoss:
+    def test_lossy_scan_misses_hosts_but_never_fabricates(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 201)]
+        scanner = _world(hosts=hosts, loss_rate=0.3)
+        result = scanner.scan(hosts)
+        assert result.hits <= set(hosts)
+        assert 0 < len(result.hits) < len(hosts)
+
+    def test_dealias_retries_tolerate_moderate_loss(self):
+        # the 3-probe-per-address retry absorbs moderate loss, so an
+        # aliased prefix is still detected
+        scanner = _world(aliased=["2001:db8::/96"], loss_rate=0.3)
+        detected = sum(
+            1
+            for i in range(20)
+            if is_prefix_aliased(
+                Prefix.parse("2001:db8::/96"), scanner, random.Random(i)
+            )
+        )
+        assert detected >= 15  # P(all 3 probes lost) per addr is 2.7 %
+
+    def test_heavy_loss_biases_toward_non_aliased(self):
+        # under extreme loss the test can only fail toward "not aliased"
+        # (a false negative), never flag an honest prefix
+        scanner = _world(hosts=[addr("2600::1")], loss_rate=0.9)
+        assert not is_prefix_aliased(
+            Prefix.parse("2600::/96"), scanner, random.Random(0)
+        )
+
+    def test_lossy_pipeline_end_to_end(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 100)]
+        scanner = _world(hosts=hosts, aliased=["2600:aaaa::/96"], loss_rate=0.2)
+        seeds = hosts[::4] + [addr(f"2600:aaaa::{i:x}") for i in (1, 2, 3, 0x11)]
+        result = run_6gen(seeds, 2000)
+        scan = scanner.scan(result.iter_targets())
+        report = dealias(scan.hits, scanner, None)
+        # no crash, sane partition
+        assert report.aliased_hits | report.clean_hits == scan.hits
+
+
+class TestBlacklistContainment:
+    def test_blacklisted_network_fully_dark(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 50)]
+        blacklist = Blacklist([Prefix.parse("2001:db8::/32")])
+        scanner = _world(hosts=hosts, blacklist=blacklist)
+        result = scanner.scan(hosts)
+        assert result.hits == set()
+        assert scanner.total_probes == 0
+
+    def test_blacklist_does_not_leak_via_dealiasing(self):
+        blacklist = Blacklist([Prefix.parse("2001:db8::/32")])
+        scanner = _world(aliased=["2001:db8::/96"], blacklist=blacklist)
+        # even the dealiasing prober must not touch blacklisted space
+        is_prefix_aliased(Prefix.parse("2001:db8::/96"), scanner, random.Random(0))
+        assert scanner.total_probes == 0
+
+
+class TestHostileInputs:
+    def test_6gen_on_identical_seeds(self):
+        result = run_6gen([addr("::1")] * 100, budget=10)
+        assert result.seed_count == 1
+        assert result.budget_used == 0
+
+    def test_6gen_on_extreme_corner_addresses(self):
+        seeds = [0, (1 << 128) - 1]
+        result = run_6gen(seeds, budget=16)
+        assert result.budget_used <= 16
+        assert set(seeds) <= result.target_set()
+
+    def test_6gen_dense_saturated_block(self):
+        # every address of a /124 is a seed: nothing left to generate
+        seeds = [addr("2001:db8::0") + i for i in range(16)]
+        result = run_6gen(seeds, budget=100)
+        new = result.new_targets(seeds)
+        # growth beyond the block is possible but bounded by budget
+        assert len(new) <= 100
+
+    def test_entropyip_on_single_seed(self):
+        from repro.entropyip.generator import fit_entropy_ip
+
+        model = fit_entropy_ip([addr("2001:db8::1")])
+        targets = model.generate(10)
+        # a one-seed model has support exactly one address
+        assert targets == {addr("2001:db8::1")}
+
+    def test_scan_of_duplicate_heavy_targets(self):
+        scanner = _world(hosts=[addr("::1")])
+        result = scanner.scan([addr("::1")] * 1000 + [addr("::2")] * 1000)
+        assert result.stats.probes_sent == 2

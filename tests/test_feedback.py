@@ -1,0 +1,145 @@
+"""Tests for the §8 scanner-integrated adaptive TGA."""
+
+import pytest
+
+from repro.core.feedback import (
+    AdaptiveConfig,
+    AdaptiveScanner,
+    covering_prefix_of_range,
+    run_adaptive,
+)
+from repro.ipv6.prefix import Prefix
+from repro.ipv6.range_ import NybbleRange
+from repro.scanner.engine import Scanner
+from repro.simnet.aliasing import AliasedRegionSet
+from repro.simnet.ground_truth import GroundTruth
+
+from conftest import addr
+
+
+def _scanner(hosts=(), aliased=()):
+    regions = AliasedRegionSet()
+    for prefix in aliased:
+        regions.add_prefix(Prefix.parse(prefix))
+    return Scanner(GroundTruth({80: set(hosts)}, regions), rng_seed=0)
+
+
+class TestCoveringPrefix:
+    def test_full_wildcard(self):
+        assert covering_prefix_of_range(NybbleRange.full()) == Prefix(0, 0)
+
+    def test_singleton(self):
+        r = NybbleRange.from_address(addr("2001:db8::1"))
+        assert covering_prefix_of_range(r) == Prefix(addr("2001:db8::1"), 128)
+
+    def test_low_wildcards(self):
+        r = NybbleRange.parse("2001:db8::??")
+        p = covering_prefix_of_range(r)
+        assert p.length == 120
+        assert p.contains(addr("2001:db8::42"))
+
+    def test_stops_at_first_dynamic(self):
+        r = NybbleRange.parse("2001:db8::?:1")
+        p = covering_prefix_of_range(r)
+        assert p.length == 108  # 27 fixed leading nybbles
+
+
+class TestAdaptiveBasics:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            AdaptiveScanner(_scanner(), AdaptiveConfig(total_budget=-1))
+
+    def test_zero_budget(self):
+        result = run_adaptive([addr("2001:db8::1")], _scanner(), 0)
+        assert result.probes_used == 0
+        assert result.hits == set()
+
+    def test_empty_seeds(self):
+        result = run_adaptive([], _scanner(), 100)
+        assert result.probes_used == 0
+
+    def test_budget_never_exceeded(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 40)]
+        result = run_adaptive(hosts[:10], _scanner(hosts=hosts), 50)
+        assert result.probes_used <= 50
+
+    def test_finds_unseen_hosts(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 200)]
+        seeds = hosts[::8]
+        result = run_adaptive(seeds, _scanner(hosts=hosts), 400)
+        assert len(result.hits) > 50
+        assert result.hits <= set(hosts) - set(seeds) | set(hosts)
+
+
+class TestEarlyTermination:
+    def test_dead_region_terminated(self):
+        # Seeds form a cluster but the surrounding region is dead: the
+        # adaptive scanner abandons it after the trial quota.
+        seeds = [addr("2001:db8::1"), addr("2001:db8::f00f"),
+                 addr("2001:db8::0bb0"), addr("2001:db8::5a5a")]
+        scanner = _scanner(hosts=seeds)  # only the seeds respond
+        config = AdaptiveConfig(
+            total_budget=5000, trial_quota=64, low_rate_floor=0.05, rounds=1
+        )
+        result = AdaptiveScanner(scanner, config).run(seeds)
+        assert result.regions_with_status("early-terminated")
+        # early termination saved budget
+        assert result.probes_used < 5000
+
+    def test_productive_region_completed(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 250)]
+        scanner = _scanner(hosts=hosts)
+        config = AdaptiveConfig(total_budget=2000, rounds=1, alias_rate_ceiling=2.0)
+        result = AdaptiveScanner(scanner, config).run(hosts[:40])
+        assert result.regions_with_status("completed")
+
+
+class TestAliasHalting:
+    def test_aliased_region_halted(self):
+        # Seeds inside an aliased /96: a perfect hit rate triggers the
+        # §6.2 test on the covering prefix, which confirms aliasing.
+        seeds = [addr(f"2600:aaaa::{i:x}") for i in (1, 2, 3, 0x11, 0x22, 0x33)]
+        scanner = _scanner(aliased=["2600:aaaa::/96"])
+        config = AdaptiveConfig(
+            total_budget=100_000, trial_quota=64, rounds=1
+        )
+        result = AdaptiveScanner(scanner, config).run(seeds)
+        assert result.regions_with_status("alias-halted")
+        assert result.aliased_regions
+        # halting early means far less than the full budget is burned
+        assert result.probes_used < 20_000
+
+    def test_dense_real_region_not_halted(self):
+        # A fully responsive *range* of real hosts is not aliasing: the
+        # covering-prefix random probes fall outside the dense block.
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(0, 256)]
+        scanner = _scanner(hosts=hosts)
+        config = AdaptiveConfig(total_budget=1000, trial_quota=64, rounds=1)
+        result = AdaptiveScanner(scanner, config).run(hosts[::4])
+        assert not result.regions_with_status("alias-halted")
+
+
+class TestFeedbackRounds:
+    def test_second_round_uses_discovered_hits(self):
+        # Round 1 discovers hosts that reveal a second dense block;
+        # round 2's regeneration can then cluster into it.
+        block_a = [addr(f"2001:db8:0:1::{i:x}") for i in range(1, 64)]
+        block_b = [addr(f"2001:db8:0:2::{i:x}") for i in range(1, 64)]
+        hosts = block_a + block_b
+        seeds = block_a[:8] + [block_b[0]]
+        scanner = _scanner(hosts=hosts)
+        one_round = run_adaptive(seeds, scanner, 600, rounds=1, rng_seed=1)
+        scanner2 = _scanner(hosts=hosts)
+        two_rounds = run_adaptive(seeds, scanner2, 600, rounds=2, rng_seed=1)
+        assert two_rounds.rounds_run >= one_round.rounds_run
+        assert len(two_rounds.hits) >= len(one_round.hits)
+
+    def test_round_count_bounded(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 50)]
+        result = run_adaptive(hosts[:10], _scanner(hosts=hosts), 10_000, rounds=3)
+        assert result.rounds_run <= 3
+
+    def test_hit_rate_property(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 100)]
+        result = run_adaptive(hosts[:20], _scanner(hosts=hosts), 500)
+        assert 0.0 <= result.hit_rate <= 1.0

@@ -1,0 +1,56 @@
+"""Tests for hitlist file I/O."""
+
+import pytest
+
+from repro.datasets.hitlist import (
+    iter_hitlist_file,
+    read_hitlist,
+    read_hitlist_ints,
+    write_hitlist,
+)
+from repro.ipv6.address import AddressError, IPv6Addr
+
+from conftest import addr
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "list.txt"
+        addrs = [addr("2001:db8::2"), addr("2001:db8::1"), addr("2001:db8::2")]
+        count = write_hitlist(path, addrs)
+        assert count == 2  # deduplicated
+        back = read_hitlist_ints(path)
+        assert back == [addr("2001:db8::1"), addr("2001:db8::2")]  # sorted
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "list.txt"
+        write_hitlist(path, [1], header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")
+        assert read_hitlist_ints(path) == [1]
+
+    def test_accepts_ipv6addr_objects(self, tmp_path):
+        path = tmp_path / "list.txt"
+        write_hitlist(path, [IPv6Addr(5)])
+        assert read_hitlist(path) == [IPv6Addr(5)]
+
+    def test_iter_streaming(self, tmp_path):
+        path = tmp_path / "list.txt"
+        write_hitlist(path, range(10))
+        assert len(list(iter_hitlist_file(path))) == 10
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "list.txt"
+        path.write_text("# hello\n\n::1\n  \n::2\n")
+        assert read_hitlist_ints(path) == [1, 2]
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "list.txt"
+        path.write_text("::1\nbogus\n")
+        with pytest.raises(AddressError):
+            read_hitlist(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "list.txt"
+        path.write_text("")
+        assert read_hitlist(path) == []

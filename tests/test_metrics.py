@@ -1,0 +1,160 @@
+"""Tests for evaluation metrics (Table 1 / Figures 3, 5, 6, 7 machinery)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    SEED_BUCKETS,
+    asn_cdf,
+    bucket_label,
+    bucket_prefixes_by_seed_count,
+    cdf,
+    cluster_census,
+    dynamic_nybble_histogram,
+    hits_per_prefix,
+    quantiles,
+    top_ases,
+)
+from repro.core.sixgen import run_6gen
+from repro.ipv6.prefix import Prefix
+from repro.simnet.asn import AsRegistry, AutonomousSystem
+from repro.simnet.bgp import BgpTable
+
+from conftest import addr
+
+
+def _bgp():
+    table = BgpTable()
+    table.add_route(Prefix.parse("2001:db8::/32"), 1)
+    table.add_route(Prefix.parse("2600::/32"), 2)
+    return table
+
+
+def _registry():
+    registry = AsRegistry()
+    registry.add(AutonomousSystem(1, "One"))
+    registry.add(AutonomousSystem(2, "Two"))
+    return registry
+
+
+class TestTopAses:
+    def test_shares(self):
+        addrs = [addr("2001:db8::1"), addr("2001:db8::2"), addr("2600::1")]
+        rows = top_ases(addrs, _bgp(), _registry())
+        assert rows[0].name == "One"
+        assert rows[0].count == 2
+        assert rows[0].share == pytest.approx(2 / 3)
+        assert rows[1].share == pytest.approx(1 / 3)
+
+    def test_k_limits(self):
+        addrs = [addr("2001:db8::1"), addr("2600::1")]
+        assert len(top_ases(addrs, _bgp(), _registry(), k=1)) == 1
+
+    def test_unrouted_ignored(self):
+        rows = top_ases([addr("9999::1")], _bgp(), _registry())
+        assert rows == []
+
+    def test_row_format(self):
+        addrs = [addr("2001:db8::1")]
+        text = str(top_ases(addrs, _bgp(), _registry())[0])
+        assert "One" in text and "AS1" in text
+
+
+class TestAsnCdf:
+    def test_cumulative_monotone_to_one(self):
+        addrs = [addr("2001:db8::1")] * 0 + [
+            addr("2001:db8::1"),
+            addr("2001:db8::2"),
+            addr("2001:db8::3"),
+            addr("2600::1"),
+        ]
+        points = asn_cdf(addrs, _bgp())
+        assert points[0] == (1, pytest.approx(0.75))
+        assert points[-1][1] == pytest.approx(1.0)
+        fracs = [f for _, f in points]
+        assert fracs == sorted(fracs)
+
+    def test_empty(self):
+        assert asn_cdf([], _bgp()) == []
+
+
+class TestCdfAndQuantiles:
+    def test_cdf_points(self):
+        points = cdf([3, 1, 2])
+        assert points == [(1, pytest.approx(1 / 3)), (2, pytest.approx(2 / 3)), (3, pytest.approx(1.0))]
+
+    def test_quantiles(self):
+        values = list(range(101))
+        assert quantiles(values) == [25.0, 50.0, 75.0]
+
+    def test_quantiles_empty(self):
+        import math
+
+        assert all(math.isnan(v) for v in quantiles([]))
+
+
+class TestBucketing:
+    def test_paper_buckets(self):
+        groups = {
+            Prefix.parse("2001:db8::/32"): list(range(5)),     # 5 seeds
+            Prefix.parse("2600::/32"): list(range(50)),        # 50 seeds
+            Prefix.parse("2a00::/32"): list(range(500)),       # 500 seeds
+            Prefix.parse("2c00::/32"): [1],                    # below all buckets
+        }
+        buckets = bucket_prefixes_by_seed_count(groups)
+        assert buckets[(2, 10)] == [Prefix.parse("2001:db8::/32")]
+        assert buckets[(10, 100)] == [Prefix.parse("2600::/32")]
+        assert buckets[(100, 1000)] == [Prefix.parse("2a00::/32")]
+
+    def test_bucket_label(self):
+        assert bucket_label((10, 100)) == "[10; 100)"
+
+    def test_bucket_bounds_match_paper(self):
+        assert SEED_BUCKETS[0] == (2, 10)
+        assert SEED_BUCKETS[-1] == (10_000, 100_000)
+
+
+class TestClusterCensus:
+    def test_counts(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+        seeds.append(addr("2001:db8:ffff::1"))
+        results = {Prefix.parse("2001:db8::/32"): run_6gen(seeds, 16)}
+        rows = cluster_census(results)
+        assert len(rows) == 1
+        assert rows[0].seed_count == 9
+        assert rows[0].grown_clusters >= 1
+        assert rows[0].singleton_clusters >= 1
+
+
+class TestDynamicNybbles:
+    def test_histogram(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+        results = {Prefix.parse("2001:db8::/32"): run_6gen(seeds, 16)}
+        histogram = dynamic_nybble_histogram(results)
+        assert len(histogram) == 32
+        assert histogram[31] == 1.0  # the low nybble went dynamic
+        assert histogram[0] == 0.0
+
+    def test_empty(self):
+        assert dynamic_nybble_histogram({}) == [0.0] * 32
+
+
+class TestHitsPerPrefix:
+    def test_counts_by_containment(self):
+        groups = {
+            Prefix.parse("2001:db8::/32"): [addr("2001:db8::1")],
+            Prefix.parse("2600::/32"): [addr("2600::1")],
+        }
+        hits = [addr("2001:db8::5"), addr("2001:db8::6"), addr("2600::9"),
+                addr("9999::1")]
+        counts = hits_per_prefix(hits, groups)
+        assert counts[Prefix.parse("2001:db8::/32")] == 2
+        assert counts[Prefix.parse("2600::/32")] == 1
+
+    def test_longest_prefix_priority(self):
+        groups = {
+            Prefix.parse("2001:db8::/32"): [],
+            Prefix.parse("2001:db8:1::/48"): [],
+        }
+        counts = hits_per_prefix([addr("2001:db8:1::1")], groups)
+        assert counts[Prefix.parse("2001:db8:1::/48")] == 1
+        assert counts[Prefix.parse("2001:db8::/32")] == 0

@@ -1,0 +1,110 @@
+"""Unit tests for nybble helpers."""
+
+import pytest
+
+from repro.ipv6 import nybble as nyb
+
+
+class TestNybbleShift:
+    def test_most_significant(self):
+        assert nyb.nybble_shift(0) == 124
+
+    def test_least_significant(self):
+        assert nyb.nybble_shift(31) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            nyb.nybble_shift(32)
+        with pytest.raises(IndexError):
+            nyb.nybble_shift(-1)
+
+
+class TestGetSetNybble:
+    def test_get_first(self):
+        assert nyb.get_nybble(0x2 << 124, 0) == 0x2
+
+    def test_get_last(self):
+        assert nyb.get_nybble(0xF, 31) == 0xF
+
+    def test_set_then_get(self):
+        value = nyb.set_nybble(0, 5, 0xA)
+        assert nyb.get_nybble(value, 5) == 0xA
+
+    def test_set_overwrites(self):
+        value = nyb.set_nybble((0xF << 124), 0, 0x3)
+        assert nyb.get_nybble(value, 0) == 0x3
+
+    def test_set_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            nyb.set_nybble(0, 0, 16)
+
+    def test_set_preserves_other_positions(self):
+        base = int("123456789abcdef0" * 2, 16)
+        modified = nyb.set_nybble(base, 7, 0x0)
+        for i in range(32):
+            if i != 7:
+                assert nyb.get_nybble(modified, i) == nyb.get_nybble(base, i)
+
+
+class TestToFromNybbles:
+    def test_roundtrip_zero(self):
+        assert nyb.from_nybbles(nyb.to_nybbles(0)) == 0
+
+    def test_roundtrip_max(self):
+        assert nyb.from_nybbles(nyb.to_nybbles(nyb.MAX_ADDRESS)) == nyb.MAX_ADDRESS
+
+    def test_roundtrip_arbitrary(self):
+        value = 0x20010DB8000000000000000000112222
+        assert nyb.from_nybbles(nyb.to_nybbles(value)) == value
+
+    def test_msb_first(self):
+        nybbles = nyb.to_nybbles(0x2 << 124)
+        assert nybbles[0] == 2
+        assert all(n == 0 for n in nybbles[1:])
+
+    def test_to_nybbles_rejects_negative(self):
+        with pytest.raises(ValueError):
+            nyb.to_nybbles(-1)
+
+    def test_from_nybbles_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            nyb.from_nybbles([0] * 31)
+
+    def test_from_nybbles_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            nyb.from_nybbles([16] + [0] * 31)
+
+
+class TestHexDigits:
+    def test_digit_values(self):
+        for i in range(16):
+            assert nyb.hex_value(nyb.hex_digit(i)) == i
+
+    def test_uppercase_accepted(self):
+        assert nyb.hex_value("A") == 10
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            nyb.hex_value("g")
+
+
+class TestMasks:
+    def test_mask_of_values(self):
+        assert nyb.mask_of([0, 1]) == 0b11
+
+    def test_mask_of_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            nyb.mask_of([16])
+
+    def test_mask_values_roundtrip(self):
+        values = (1, 5, 15)
+        assert nyb.mask_values(nyb.mask_of(values)) == values
+
+    def test_popcount_full(self):
+        assert nyb.popcount16(nyb.FULL_MASK) == 16
+
+    def test_mask_contains(self):
+        mask = nyb.mask_of([3, 7])
+        assert nyb.mask_contains(mask, 3)
+        assert nyb.mask_contains(mask, 7)
+        assert not nyb.mask_contains(mask, 4)

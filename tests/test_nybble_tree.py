@@ -1,0 +1,132 @@
+"""Tests for the 16-ary nybble tree (paper §5.5 optimization)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipv6.nybble_tree import NybbleTree
+from repro.ipv6.range_ import NybbleRange
+
+from conftest import addr
+
+addresses = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = NybbleTree()
+        assert len(tree) == 0
+        assert not tree
+        assert 0 not in tree
+
+    def test_insert_and_contains(self):
+        tree = NybbleTree()
+        assert tree.insert(addr("2001:db8::1"))
+        assert addr("2001:db8::1") in tree
+        assert addr("2001:db8::2") not in tree
+        assert len(tree) == 1
+
+    def test_duplicate_insert_ignored(self):
+        tree = NybbleTree()
+        assert tree.insert(5)
+        assert not tree.insert(5)
+        assert len(tree) == 1
+
+    def test_constructor_bulk_insert(self):
+        tree = NybbleTree([1, 2, 3, 2])
+        assert len(tree) == 3
+
+    def test_remove(self):
+        tree = NybbleTree([1, 2])
+        assert tree.remove(1)
+        assert 1 not in tree
+        assert len(tree) == 1
+        assert not tree.remove(1)
+        assert not tree.remove(99)
+
+    def test_remove_then_reinsert(self):
+        tree = NybbleTree([7])
+        tree.remove(7)
+        assert tree.insert(7)
+        assert 7 in tree
+
+
+class TestRangeQueries:
+    def test_count_in_range(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(8)]
+        seeds.append(addr("2001:db9::1"))
+        tree = NybbleTree(seeds)
+        assert tree.count_in_range(NybbleRange.parse("2001:db8::?")) == 8
+        assert tree.count_in_range(NybbleRange.full()) == 9
+        assert tree.count_in_range(NybbleRange.parse("2002::?")) == 0
+
+    def test_iter_in_range_sorted(self):
+        seeds = [addr("2001:db8::3"), addr("2001:db8::1"), addr("2001:db8::2")]
+        tree = NybbleTree(seeds)
+        values = list(tree.iter_in_range(NybbleRange.parse("2001:db8::?")))
+        assert values == sorted(seeds)
+
+    def test_iter_all(self):
+        seeds = {addr("::1"), addr("ffff::1")}
+        tree = NybbleTree(seeds)
+        assert set(tree.iter_all()) == seeds
+
+    def test_count_with_prefix_nybbles(self):
+        tree = NybbleTree([addr("2001:db8::1"), addr("2001:db8::2"), addr("3::1")])
+        assert tree.count_with_prefix_nybbles([2, 0, 0, 1]) == 2
+        assert tree.count_with_prefix_nybbles([0, 0, 0, 3]) == 1  # "3::" = 0003:...
+        assert tree.count_with_prefix_nybbles([4]) == 0
+        assert tree.count_with_prefix_nybbles([]) == 3
+
+    def test_densest_child(self):
+        tree = NybbleTree([addr("2001:db8::1"), addr("2001:db8::2"), addr("3::1")])
+        value, count = tree.densest_child([])
+        assert value == 2 and count == 2
+        assert tree.densest_child([9]) is None
+
+
+class TestBruteForceEquivalence:
+    @settings(max_examples=30)
+    @given(st.lists(addresses, min_size=0, max_size=50))
+    def test_len_matches_set(self, values):
+        tree = NybbleTree(values)
+        assert len(tree) == len(set(values))
+
+    @settings(max_examples=30)
+    @given(st.lists(addresses, min_size=1, max_size=40), addresses)
+    def test_count_in_range_matches_brute_force(self, values, pivot):
+        tree = NybbleTree(values)
+        r = NybbleRange.from_address(values[0]).span_loose(pivot)
+        expected = sum(1 for v in set(values) if r.contains(v))
+        assert tree.count_in_range(r) == expected
+        assert sorted(tree.iter_in_range(r)) == sorted(
+            v for v in set(values) if r.contains(v)
+        )
+
+    @settings(max_examples=20)
+    @given(st.lists(addresses, min_size=1, max_size=30))
+    def test_remove_keeps_counts_consistent(self, values):
+        tree = NybbleTree(values)
+        reference = set(values)
+        rng = random.Random(0)
+        for value in rng.sample(values, len(values) // 2):
+            assert tree.remove(value) == (value in reference)
+            reference.discard(value)
+        assert len(tree) == len(reference)
+        assert set(tree.iter_all()) == reference
+
+
+class TestShortCircuit:
+    def test_full_suffix_uses_subtree_count(self):
+        # A query whose low nybbles are all-wildcard should count via
+        # node counters; verify correctness on a dense low block.
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(256)]
+        tree = NybbleTree(seeds)
+        r = NybbleRange.parse("2001:db8::??")
+        assert tree.count_in_range(r) == 256
+
+    def test_partial_wildcards(self):
+        seeds = [addr("2001:db8::10"), addr("2001:db8::1f"), addr("2001:db8::2f")]
+        tree = NybbleTree(seeds)
+        assert tree.count_in_range(NybbleRange.parse("2001:db8::1?")) == 2

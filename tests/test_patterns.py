@@ -1,0 +1,93 @@
+"""Tests for RFC 7707 address-pattern recognisers."""
+
+from repro.ipv6 import patterns
+
+from conftest import addr
+
+
+class TestLowByte:
+    def test_classic_low_byte(self):
+        assert patterns.is_low_byte(addr("2001:db8::1"))
+        assert patterns.is_low_byte(addr("2001:db8::ff"))
+
+    def test_not_low_byte(self):
+        assert not patterns.is_low_byte(addr("2001:db8::1:1"))
+        assert not patterns.is_low_byte(addr("2001:db8::100"))
+
+    def test_low_word(self):
+        assert patterns.is_low_byte(addr("2001:db8::abc"), bits=16)
+        assert not patterns.is_low_byte(addr("2001:db8::1:0"), bits=16)
+
+    def test_zero_iid_is_not_low_byte(self):
+        assert not patterns.is_low_byte(addr("2001:db8::"))
+
+    def test_rejects_bad_bits(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            patterns.is_low_byte(addr("::1"), bits=0)
+
+
+class TestEui64:
+    def test_shape_detected(self):
+        assert patterns.is_eui64(addr("2001:db8::211:22ff:fe33:4455"))
+
+    def test_non_eui64(self):
+        assert not patterns.is_eui64(addr("2001:db8::1"))
+
+    def test_mac_roundtrip(self):
+        mac = 0x001122334455
+        iid = patterns.eui64_iid_from_mac(mac)
+        assert patterns.mac_from_eui64_iid(iid) == mac
+
+    def test_ul_bit_flipped(self):
+        iid = patterns.eui64_iid_from_mac(0)
+        # universal/local bit set in the first IID byte
+        assert (iid >> 56) & 0x02
+
+    def test_mac_recovery_rejects_non_eui64(self):
+        assert patterns.mac_from_eui64_iid(0x1) is None
+
+    def test_rejects_oversize_mac(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            patterns.eui64_iid_from_mac(1 << 48)
+
+
+class TestPortEmbedding:
+    def test_http(self):
+        assert patterns.embedded_port(addr("2001:db8::80")) == 80
+
+    def test_https(self):
+        assert patterns.embedded_port(addr("2001:db8::443")) == 443
+
+    def test_not_a_port(self):
+        assert patterns.embedded_port(addr("2001:db8::81")) is None
+        assert patterns.embedded_port(addr("2001:db8::abc")) is None
+
+
+class TestHexWords:
+    def test_dead_beef(self):
+        assert patterns.contains_hex_word(addr("2001:db8::dead:beef")) == "dead"
+
+    def test_no_word(self):
+        assert patterns.contains_hex_word(addr("2001:db8::1234")) is None
+
+
+class TestClassify:
+    def test_priorities(self):
+        assert patterns.classify_iid(addr("2001:db8::")) == "subnet-anycast"
+        assert patterns.classify_iid(addr("2001:db8::80")) == "port"
+        assert patterns.classify_iid(addr("2001:db8::7")) == "low-byte"
+        assert patterns.classify_iid(addr("2001:db8::abc")) == "low-word"
+        assert (
+            patterns.classify_iid(addr("2001:db8::211:22ff:fe33:4455")) == "eui64"
+        )
+        assert patterns.classify_iid(addr("2001:db8::dead:beef:0:1")) == "hex-word"
+
+    def test_random_fallback(self):
+        assert patterns.classify_iid(addr("2001:db8::1234:5678:9abc:def1")) == "random"
+
+    def test_interface_id(self):
+        assert patterns.interface_id(addr("2001:db8::42")) == 0x42

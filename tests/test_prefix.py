@@ -1,0 +1,168 @@
+"""Unit and property tests for CIDR prefixes."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ipv6.prefix import Prefix, PrefixError, host_mask, network_mask
+
+from conftest import addr
+
+
+class TestConstruction:
+    def test_parse(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.network == 0x20010DB8 << 96
+        assert p.length == 32
+
+    def test_parse_full_length(self):
+        p = Prefix.parse("::1/128")
+        assert p.size() == 1
+
+    def test_parse_zero_length(self):
+        p = Prefix.parse("::/0")
+        assert p.size() == 1 << 128
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("2001:db8::1/32")
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("2001:db8::")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("::/129")
+        with pytest.raises(PrefixError):
+            Prefix.parse("::/abc")
+
+    def test_containing_masks_host_bits(self):
+        p = Prefix.containing(addr("2001:db8::1"), 32)
+        assert p == Prefix.parse("2001:db8::/32")
+
+    def test_immutable(self):
+        p = Prefix.parse("::/0")
+        with pytest.raises(AttributeError):
+            p.length = 1
+
+
+class TestMembership:
+    def test_contains_own_network(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.contains(p.network)
+
+    def test_contains_last(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.contains(p.last)
+        assert not p.contains(p.last + 1)
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("2001:db8::/32")
+        inner = Prefix.parse("2001:db8:1::/48")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_size(self):
+        assert Prefix.parse("::/96").size() == 1 << 32
+
+
+class TestNavigation:
+    def test_supernet(self):
+        p = Prefix.parse("2001:db8:1::/48")
+        assert p.supernet(32) == Prefix.parse("2001:db8::/32")
+
+    def test_supernet_rejects_longer(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("::/32").supernet(48)
+
+    def test_subnets(self):
+        p = Prefix.parse("2001:db8::/126")
+        subs = list(p.subnets(128))
+        assert len(subs) == 4
+        assert subs[0].network == p.network
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("::/48").subnets(32))
+
+    def test_addresses(self):
+        p = Prefix.parse("2001:db8::/127")
+        addrs = list(p.addresses())
+        assert len(addrs) == 2
+        assert int(addrs[1]) == p.network + 1
+
+    def test_random_address_inside(self):
+        p = Prefix.parse("2001:db8::/32")
+        rng = random.Random(0)
+        for _ in range(50):
+            assert p.contains(p.random_address(rng))
+
+
+class TestOrderingAndRepr:
+    def test_str(self):
+        assert str(Prefix.parse("2001:db8::/32")) == "2001:db8::/32"
+
+    def test_equality_hash(self):
+        a = Prefix.parse("2001:db8::/32")
+        b = Prefix.containing(addr("2001:db8::ff"), 32)
+        assert a == b and hash(a) == hash(b)
+
+    def test_sortable(self):
+        a = Prefix.parse("2001:db8::/32")
+        b = Prefix.parse("2001:db9::/32")
+        assert sorted([b, a]) == [a, b]
+
+
+class TestMasks:
+    def test_network_mask_bounds(self):
+        assert network_mask(0) == 0
+        assert network_mask(128) == (1 << 128) - 1
+
+    def test_host_mask_bounds(self):
+        assert host_mask(128) == 0
+        assert host_mask(0) == (1 << 128) - 1
+
+    def test_masks_complementary(self):
+        for length in (0, 1, 32, 64, 96, 127, 128):
+            assert network_mask(length) ^ host_mask(length) == (1 << 128) - 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PrefixError):
+            network_mask(129)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.integers(min_value=0, max_value=128),
+    )
+    def test_containing_always_contains(self, value, length):
+        assert Prefix.containing(value, length).contains(value)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.integers(min_value=0, max_value=128),
+    )
+    def test_roundtrip_through_text(self, value, length):
+        p = Prefix.containing(value, length)
+        assert Prefix.parse(str(p)) == p
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.integers(min_value=1, max_value=128),
+    )
+    def test_supernet_contains_subnet(self, value, length):
+        p = Prefix.containing(value, length)
+        assert p.supernet(length - 1).contains_prefix(p)
+
+
+class TestPickling:
+    def test_round_trip(self):
+        import pickle
+
+        p = Prefix.parse("2001:db8::/32")
+        assert pickle.loads(pickle.dumps(p)) == p

@@ -1,0 +1,56 @@
+"""Tests for probe/result types and the scan-time model."""
+
+import pytest
+
+from repro.scanner.probe import (
+    DEFAULT_PROBE_RATE_PPS,
+    Probe,
+    ScanResult,
+    ScanStats,
+)
+
+from conftest import addr
+
+
+class TestProbe:
+    def test_defaults_to_port_80(self):
+        probe = Probe(addr("2001:db8::1"))
+        assert probe.port == 80
+
+    def test_str(self):
+        probe = Probe(addr("2001:db8::1"), 443)
+        assert str(probe) == "SYN 2001:db8::1:443"
+
+    def test_hashable(self):
+        assert Probe(1, 80) == Probe(1, 80)
+        assert len({Probe(1, 80), Probe(1, 80), Probe(1, 443)}) == 2
+
+
+class TestScanStats:
+    def test_hit_rate_empty(self):
+        assert ScanStats().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = ScanStats(probes_sent=10, responses=3)
+        assert stats.hit_rate == pytest.approx(0.3)
+
+    def test_wall_time_paper_numbers(self):
+        # 5.8 B probes at 100 K pps ~ 16.1 hours
+        stats = ScanStats(probes_sent=5_800_000_000)
+        hours = stats.wall_time_seconds(DEFAULT_PROBE_RATE_PPS) / 3600
+        assert 15 < hours < 17
+
+    def test_wall_time_custom_rate(self):
+        stats = ScanStats(probes_sent=1000)
+        assert stats.wall_time_seconds(rate_pps=100) == pytest.approx(10.0)
+
+    def test_wall_time_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ScanStats(probes_sent=1).wall_time_seconds(0)
+
+
+class TestScanResult:
+    def test_hit_count(self):
+        result = ScanResult(port=80, hits={1, 2, 3})
+        assert result.hit_count() == 3
+        assert result.port == 80

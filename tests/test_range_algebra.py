@@ -1,0 +1,116 @@
+"""Additional nybble-range algebra tests (regression depth).
+
+Covers corners the main range tests don't: mask-level semantics of the
+wildcard text grammar, interactions between compression and wildcards,
+and the exact behaviour of difference iteration under multi-position
+widening — the operation 6Gen's budget accounting leans on hardest.
+"""
+
+import pytest
+
+from repro.ipv6.nybble import FULL_MASK
+from repro.ipv6.range_ import NybbleRange, RangeError
+
+from conftest import addr
+
+
+class TestTextGrammarCorners:
+    def test_wildcard_inside_full_group(self):
+        r = NybbleRange.parse("2001:db8::ab?d")
+        assert r.size() == 16
+        assert r.contains(addr("2001:db8::ab0d"))
+        assert r.contains(addr("2001:db8::abfd"))
+        assert not r.contains(addr("2001:db8::ab0e"))
+
+    def test_bracket_in_middle_of_group(self):
+        r = NybbleRange.parse("2001:db8::a[0-3]cd")
+        assert r.size() == 4
+        assert r.values_at(29) == (0, 1, 2, 3)
+
+    def test_multiple_brackets_one_group(self):
+        r = NybbleRange.parse("2001:db8::[0-1][2-3]")
+        assert r.size() == 4
+        assert r.contains(addr("2001:db8::12"))
+        assert not r.contains(addr("2001:db8::21"))
+
+    def test_wildcard_group_in_full_form(self):
+        r = NybbleRange.parse("2001:db8:0:0:0:0:?:1")
+        assert r.size() == 16
+
+    def test_compression_with_trailing_wildcards(self):
+        r = NybbleRange.parse("2001::?")
+        assert r.size() == 16
+        # groups 2..7 are implied zero
+        assert r.contains(addr("2001::5"))
+        assert not r.contains(addr("2001:0:0:0:0:0:1:5"))
+
+    def test_roundtrip_mixed_text(self):
+        texts = [
+            "2001:db8::a[0-3]cd",
+            "2001:db8::[0-1][2-3]",
+            "::",
+            "2001::?",
+            "f:e:d:c:b:a:9:8",
+        ]
+        for text in texts:
+            r = NybbleRange.parse(text)
+            assert NybbleRange.parse(r.wildcard_text()) == r
+
+    def test_rejects_wildcard_in_bracket(self):
+        with pytest.raises(RangeError):
+            NybbleRange.parse("::[?]")
+
+
+class TestDifferenceIteration:
+    def test_two_widened_positions_partition(self):
+        old = NybbleRange.parse("2001:db8::11")
+        new = NybbleRange.parse("2001:db8::[1-2][1-3]")
+        diff = list(new.iter_new_ints(old))
+        assert len(diff) == new.size() - old.size() == 5
+        assert len(set(diff)) == 5
+        assert all(new.contains(v) and not old.contains(v) for v in diff)
+
+    def test_three_widened_positions(self):
+        old = NybbleRange.parse("2001:db8::111")
+        new = NybbleRange.parse("2001:db8::??[0-3]")
+        diff = set(new.iter_new_ints(old))
+        brute = set(new.iter_ints()) - set(old.iter_ints())
+        assert diff == brute
+
+    def test_identical_ranges_empty_difference(self):
+        r = NybbleRange.parse("2001:db8::?")
+        assert list(r.iter_new_ints(r)) == []
+        assert r.difference_size(r) == 0
+
+    def test_difference_of_full_vs_near_full(self):
+        # masks widened at a single position only
+        old = NybbleRange.parse("2001:db8::[0-e]")
+        new = NybbleRange.parse("2001:db8::?")
+        assert list(new.iter_new_ints(old)) == [addr("2001:db8::f")]
+
+
+class TestMaskSemantics:
+    def test_masks_tuple_is_canonical_key(self):
+        a = NybbleRange.parse("2001:db8::[0-f]")
+        b = NybbleRange.parse("2001:db8::?")
+        assert a.masks == b.masks
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_full_mask_constant(self):
+        r = NybbleRange.parse("::?")
+        assert r.mask(31) == FULL_MASK
+
+    def test_intersection_identity(self):
+        r = NybbleRange.parse("2001:db8::[2-9]")
+        assert r.intersection(r) == r
+
+    def test_span_commutes_with_membership(self):
+        base = NybbleRange.from_address(addr("2001:db8::10"))
+        grown = base.span_tight(addr("2001:db8::01"))
+        # both source addresses and the cross-products
+        assert grown.contains(addr("2001:db8::10"))
+        assert grown.contains(addr("2001:db8::01"))
+        assert grown.contains(addr("2001:db8::11"))
+        assert grown.contains(addr("2001:db8::00"))
+        assert grown.size() == 4

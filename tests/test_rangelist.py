@@ -1,0 +1,86 @@
+"""Tests for the range-list file format."""
+
+import pytest
+
+from repro.datasets.rangelist import (
+    expand_ranges,
+    read_rangelist,
+    total_size,
+    write_rangelist,
+)
+from repro.ipv6.range_ import NybbleRange, RangeError
+
+from conftest import addr
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "ranges.txt"
+        ranges = [
+            NybbleRange.parse("2001:db8::?:100?"),
+            NybbleRange.parse("2600:9000:1::[0-3]?"),
+            NybbleRange.parse("2a01:4f8:0:1::7"),
+        ]
+        count = write_rangelist(path, ranges, header="test ranges")
+        assert count == 3
+        back = read_rangelist(path)
+        assert set(back) == set(ranges)
+
+    def test_deduplication(self, tmp_path):
+        path = tmp_path / "ranges.txt"
+        r = NybbleRange.parse("2001:db8::?")
+        assert write_rangelist(path, [r, r, r]) == 1
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "ranges.txt"
+        path.write_text("# header\n2001:db8::?  # inline comment\n\n")
+        ranges = read_rangelist(path)
+        assert ranges == [NybbleRange.parse("2001:db8::?")]
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "ranges.txt"
+        path.write_text("2001:db8::[9-1]\n")
+        with pytest.raises(RangeError):
+            read_rangelist(path)
+
+
+class TestExpansion:
+    def test_expand_all(self):
+        ranges = [NybbleRange.parse("2001:db8::[1-3]")]
+        assert sorted(expand_ranges(ranges)) == [
+            addr("2001:db8::1"),
+            addr("2001:db8::2"),
+            addr("2001:db8::3"),
+        ]
+
+    def test_expand_deduplicates_overlap(self):
+        ranges = [
+            NybbleRange.parse("2001:db8::[1-4]"),
+            NybbleRange.parse("2001:db8::[3-6]"),
+        ]
+        values = list(expand_ranges(ranges))
+        assert len(values) == len(set(values)) == 6
+
+    def test_limit(self):
+        ranges = [NybbleRange.parse("2001:db8::??")]
+        assert len(list(expand_ranges(ranges, limit=10))) == 10
+
+    def test_total_size(self):
+        ranges = [NybbleRange.parse("2001:db8::?"), NybbleRange.parse("::1")]
+        assert total_size(ranges) == 17
+
+
+class TestIntegrationWith6Gen:
+    def test_cluster_ranges_round_trip(self, tmp_path, dense_block_seeds):
+        from repro.core.sixgen import run_6gen
+
+        result = run_6gen(dense_block_seeds, budget=16)
+        path = tmp_path / "clusters.txt"
+        write_rangelist(path, (c.range for c in result.clusters))
+        back = read_rangelist(path)
+        assert {r.wildcard_text() for r in back} == {
+            c.range.wildcard_text() for c in result.clusters
+        }
+        # expansion covers every seed
+        expanded = set(expand_ranges(back))
+        assert set(dense_block_seeds) <= expanded

@@ -1,0 +1,52 @@
+"""Tests for the markdown scan report."""
+
+import pytest
+
+from repro.analysis.experiments import run_full_scan, standard_context
+from repro.analysis.report import scan_report
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    context = standard_context(0.05)
+    return run_full_scan(context, 1500)
+
+
+class TestScanReport:
+    def test_sections_present(self, outcome):
+        text = scan_report(outcome)
+        for heading in (
+            "# IPv6 scan report",
+            "## Run summary",
+            "## Aliasing census",
+            "## Top ASes",
+            "## Dealiased hits per routed prefix",
+            "## 6Gen cluster census",
+            "## Dynamic nybble profile",
+        ):
+            assert heading in text
+
+    def test_custom_title(self, outcome):
+        assert scan_report(outcome, title="My Title").startswith("# My Title")
+
+    def test_numbers_consistent(self, outcome):
+        text = scan_report(outcome)
+        assert f"**{len(outcome.raw_hits)}**" in text
+        assert f"**{len(outcome.clean_hits)}**" in text
+        assert f"**{outcome.budget}**" in text
+
+    def test_as_tables_are_markdown(self, outcome):
+        text = scan_report(outcome)
+        assert "| AS | ASN | addresses | share |" in text
+        # markdown tables need their separator rows
+        assert text.count("|---|---|---|---|") >= 3
+
+    def test_report_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main([
+            "report", str(out), "--scale", "0.05", "--budget", "1500",
+        ]) == 0
+        assert out.exists()
+        assert "## Run summary" in out.read_text()

@@ -1,0 +1,128 @@
+"""Tests for the scan engine and blacklist."""
+
+import pytest
+
+from repro.ipv6.prefix import Prefix
+from repro.scanner.blacklist import Blacklist
+from repro.scanner.engine import Scanner
+from repro.simnet.aliasing import AliasedRegionSet
+from repro.simnet.ground_truth import GroundTruth
+
+from conftest import addr
+
+
+def _truth(hosts=None, aliased=None):
+    regions = AliasedRegionSet()
+    for prefix in aliased or []:
+        regions.add_prefix(Prefix.parse(prefix))
+    return GroundTruth({80: set(hosts or [])}, regions)
+
+
+class TestBlacklist:
+    def test_prefix_membership(self):
+        bl = Blacklist([Prefix.parse("2001:db8::/32")])
+        assert bl.contains(addr("2001:db8:1::1"))
+        assert not bl.contains(addr("2001:db9::1"))
+
+    def test_single_address(self):
+        bl = Blacklist()
+        bl.add_address(addr("::1"))
+        assert addr("::1") in bl
+        assert addr("::2") not in bl
+
+    def test_idempotent_add(self):
+        bl = Blacklist()
+        bl.add(Prefix.parse("2001:db8::/32"))
+        bl.add(Prefix.parse("2001:db8::/32"))
+        assert len(bl) == 1
+
+    def test_parse_lines(self):
+        bl = Blacklist.parse_lines(
+            ["# opt-out list", "2001:db8::/32  # researcher", "", "2600::1"]
+        )
+        assert addr("2001:db8::5") in bl
+        assert addr("2600::1") in bl
+        assert addr("2600::2") not in bl
+
+    def test_prefixes_iteration(self):
+        bl = Blacklist([Prefix.parse("::/127"), Prefix.parse("2001:db8::/32")])
+        assert len(list(bl.prefixes())) == 2
+
+    def test_bool(self):
+        assert not Blacklist()
+        assert Blacklist([Prefix.parse("::/1")])
+
+
+class TestScannerProbe:
+    def test_probe_host(self):
+        scanner = Scanner(_truth(hosts=[addr("2001:db8::1")]))
+        assert scanner.probe(addr("2001:db8::1"))
+        assert not scanner.probe(addr("2001:db8::2"))
+        assert scanner.total_probes == 2
+
+    def test_probe_aliased(self):
+        scanner = Scanner(_truth(aliased=["2001:db8::/96"]))
+        assert scanner.probe(addr("2001:db8::1234"))
+
+    def test_blacklist_never_probed(self):
+        bl = Blacklist([Prefix.parse("2001:db8::/32")])
+        scanner = Scanner(_truth(hosts=[addr("2001:db8::1")]), blacklist=bl)
+        assert not scanner.probe(addr("2001:db8::1"))
+        assert scanner.total_probes == 0
+
+    def test_probe_retry_recovers_loss(self):
+        scanner = Scanner(
+            _truth(hosts=[addr("::1")]), loss_rate=0.5, rng_seed=1
+        )
+        results = [scanner.probe_retry(addr("::1"), attempts=20) for _ in range(20)]
+        # failure odds per call are 0.5**20; the batch is effectively certain
+        assert all(results)
+
+    def test_rejects_bad_loss_rate(self):
+        with pytest.raises(ValueError):
+            Scanner(_truth(), loss_rate=1.0)
+
+
+class TestScannerScan:
+    def test_scan_counts_and_hits(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 6)]
+        scanner = Scanner(_truth(hosts=hosts))
+        targets = hosts + [addr("2001:db8::ff")]
+        result = scanner.scan(targets)
+        assert result.hits == set(hosts)
+        assert result.stats.probes_sent == 6
+        assert result.stats.responses == 5
+        assert result.stats.hit_rate == pytest.approx(5 / 6)
+
+    def test_scan_deduplicates_targets(self):
+        scanner = Scanner(_truth(hosts=[addr("::1")]))
+        result = scanner.scan([addr("::1")] * 10)
+        assert result.stats.probes_sent == 1
+
+    def test_scan_respects_blacklist(self):
+        bl = Blacklist([Prefix.parse("2001:db8::/32")])
+        scanner = Scanner(_truth(hosts=[addr("2001:db8::1")]), blacklist=bl)
+        result = scanner.scan([addr("2001:db8::1"), addr("2600::1")])
+        assert result.hits == set()
+        assert result.stats.blacklisted == 1
+        assert result.stats.probes_sent == 1
+
+    def test_loss_drops_responses(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 101)]
+        lossless = Scanner(_truth(hosts=hosts))
+        lossy = Scanner(_truth(hosts=hosts), loss_rate=0.5, rng_seed=2)
+        assert len(lossless.scan(hosts).hits) == 100
+        lossy_hits = len(lossy.scan(hosts).hits)
+        assert 20 < lossy_hits < 80
+        assert lossy.scan(hosts).stats.dropped > 0
+
+    def test_empty_scan(self):
+        scanner = Scanner(_truth())
+        result = scanner.scan([])
+        assert result.hit_count() == 0
+        assert result.stats.hit_rate == 0.0
+
+    def test_unshuffled_scan(self):
+        scanner = Scanner(_truth(hosts=[addr("::1")]))
+        result = scanner.scan([addr("::2"), addr("::1")], shuffle=False)
+        assert result.hits == {addr("::1")}

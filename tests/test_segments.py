@@ -1,0 +1,78 @@
+"""Tests for Entropy/IP stage 2: segmentation."""
+
+import pytest
+
+from repro.entropyip.segments import Segment, segment_addresses, segment_positions
+from repro.ipv6.nybble import NYBBLE_COUNT
+
+from conftest import addr
+
+
+class TestSegment:
+    def test_extract(self):
+        seg = Segment(28, 32, 0.0)
+        assert seg.extract(addr("2001:db8::abcd")) == 0xABCD
+
+    def test_extract_middle(self):
+        seg = Segment(4, 8, 0.0)
+        assert seg.extract(addr("2001:db8::1")) == 0x0DB8
+
+    def test_insert(self):
+        seg = Segment(28, 32, 0.0)
+        assert seg.insert(0, 0x1234) == 0x1234
+        assert seg.insert(addr("2001:db8::ffff"), 0) == addr("2001:db8::")
+
+    def test_insert_extract_roundtrip(self):
+        seg = Segment(10, 14, 0.0)
+        value = seg.insert(addr("2001:db8::1"), 0xBEE)
+        assert seg.extract(value) == 0xBEE
+
+    def test_insert_rejects_oversize(self):
+        seg = Segment(30, 32, 0.0)
+        with pytest.raises(ValueError):
+            seg.insert(0, 0x100)
+
+    def test_width(self):
+        assert Segment(0, 4, 0.0).width == 4
+
+
+class TestSegmentation:
+    def test_covers_all_positions(self):
+        entropies = [0.0] * 16 + [1.0] * 16
+        segments = segment_positions(entropies)
+        assert segments[0].start == 0
+        assert segments[-1].end == NYBBLE_COUNT
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == b.start
+
+    def test_splits_on_entropy_step(self):
+        entropies = [0.0] * 16 + [1.0] * 16
+        segments = segment_positions(entropies, threshold=0.1)
+        boundaries = {s.start for s in segments}
+        assert 16 in boundaries
+
+    def test_max_width_respected(self):
+        entropies = [0.5] * 32
+        segments = segment_positions(entropies, max_width=4)
+        assert all(s.width <= 4 for s in segments)
+
+    def test_threshold_controls_granularity(self):
+        entropies = [i / 64 for i in range(32)]  # slow ramp
+        fine = segment_positions(entropies, threshold=0.01, max_width=32)
+        coarse = segment_positions(entropies, threshold=0.5, max_width=32)
+        assert len(fine) >= len(coarse)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            segment_positions([0.0] * 31)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            segment_positions([0.0] * 32, max_width=0)
+
+    def test_segment_addresses_convenience(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(16)]
+        segments = segment_addresses(seeds)
+        assert segments[-1].end == NYBBLE_COUNT
+        # The final (random) nybble should end up in its own segment.
+        assert segments[-1].start >= 28

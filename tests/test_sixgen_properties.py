@@ -1,0 +1,117 @@
+"""Property-based invariants of 6Gen (hypothesis).
+
+Invariants from the paper's algorithm description (§5.4):
+
+* the probe budget is never exceeded, and targets ⊇ seeds;
+* every seed lies in at least one surviving cluster;
+* no surviving cluster is a strict subset of another;
+* each cluster's recorded seed count matches its range's true count;
+* results are deterministic for a fixed RNG seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sixgen import run_6gen
+from repro.ipv6.nybble_tree import NybbleTree
+
+# Clustered address pools: a few /96-ish networks with low random bits,
+# which is the regime 6Gen actually faces.
+@st.composite
+def seed_pools(draw):
+    network_count = draw(st.integers(min_value=1, max_value=3))
+    networks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 96) - 1),
+            min_size=network_count,
+            max_size=network_count,
+            unique=True,
+        )
+    )
+    seeds = set()
+    for network in networks:
+        count = draw(st.integers(min_value=1, max_value=8))
+        lows = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=0xFFF),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        for low in lows:
+            seeds.add((network << 32) | low)
+    return sorted(seeds)
+
+
+budgets = st.integers(min_value=0, max_value=2000)
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(seed_pools(), budgets)
+    def test_budget_respected_and_targets_cover_seeds(self, seeds, budget):
+        result = run_6gen(seeds, budget)
+        targets = result.target_set()
+        assert set(seeds) <= targets
+        assert len(targets) - len(seeds) <= budget
+        assert result.budget_used <= budget
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed_pools(), budgets)
+    def test_every_seed_in_some_cluster(self, seeds, budget):
+        result = run_6gen(seeds, budget)
+        for seed in seeds:
+            assert any(c.range.contains(seed) for c in result.clusters)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed_pools(), budgets)
+    def test_no_cluster_strictly_contained(self, seeds, budget):
+        result = run_6gen(seeds, budget)
+        ranges = [c.range for c in result.clusters]
+        for i, a in enumerate(ranges):
+            for j, b in enumerate(ranges):
+                if i != j:
+                    assert not a.is_strict_subset(b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed_pools(), budgets)
+    def test_cluster_seed_counts_correct(self, seeds, budget):
+        result = run_6gen(seeds, budget)
+        tree = NybbleTree(seeds)
+        for cluster in result.clusters:
+            assert cluster.seed_count == tree.count_in_range(cluster.range)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed_pools(), budgets)
+    def test_deterministic(self, seeds, budget):
+        a = run_6gen(seeds, budget, rng_seed=11)
+        b = run_6gen(seeds, budget, rng_seed=11)
+        assert {c.range for c in a.clusters} == {c.range for c in b.clusters}
+        assert a.target_set() == b.target_set()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed_pools(), budgets)
+    def test_targets_within_cluster_ranges_or_sampled(self, seeds, budget):
+        result = run_6gen(seeds, budget)
+        sampled = set(result.sampled)
+        for target in result.target_set():
+            if target in sampled:
+                continue
+            assert any(
+                c.range.contains(target) for c in result.clusters
+            ) or target in set(seeds)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed_pools(), st.booleans())
+    def test_cluster_range_is_span_of_its_seeds(self, seeds, loose):
+        # A cluster's range is exactly the (loose or tight) spanning
+        # range of the seeds it contains: every widened position was
+        # widened for a seed that stayed in the cluster, and the range
+        # always covers all its seeds.
+        from repro.ipv6.range_ import spanning_range
+
+        result = run_6gen(seeds, 500, loose=loose)
+        tree = NybbleTree(seeds)
+        for cluster in result.clusters:
+            members = list(tree.iter_in_range(cluster.range))
+            assert cluster.range == spanning_range(members, loose=loose)

@@ -1,0 +1,121 @@
+"""Tests for the 6Tree-style successor algorithm."""
+
+import pytest
+
+from repro.ipv6.prefix import Prefix
+from repro.scanner.engine import Scanner
+from repro.simnet.aliasing import AliasedRegionSet
+from repro.simnet.ground_truth import GroundTruth
+from repro.successors.sixtree import (
+    SixTreeConfig,
+    SixTree,
+    build_space_tree,
+    leaves,
+    run_sixtree,
+)
+
+from conftest import addr
+
+
+def _scanner(hosts=()):
+    return Scanner(GroundTruth({80: set(hosts)}, AliasedRegionSet()), rng_seed=0)
+
+
+class TestSpaceTree:
+    def test_single_seed_is_leaf(self):
+        tree = build_space_tree([addr("2001:db8::1")])
+        assert tree.is_leaf
+        assert tree.depth == 32
+        assert tree.region().is_singleton()
+
+    def test_common_prefix_extended(self):
+        seeds = [addr("2001:db8::1"), addr("2001:db8::2")]
+        tree = build_space_tree(seeds, max_leaf_seeds=1)
+        # the shared prefix covers all but the last nybble
+        assert tree.depth == 31
+        assert len(tree.children) == 2
+
+    def test_split_on_leftmost_differing_nybble(self):
+        seeds = [addr("2001:db8:1::5"), addr("2001:db8:2::5"), addr("2001:db8:2::6")]
+        tree = build_space_tree(seeds, max_leaf_seeds=1)
+        # hextet 3 is "0001"/"0002": the first differing nybble is its
+        # last digit, index 11
+        assert tree.depth == 11
+        assert set(tree.children) == {1, 2}
+
+    def test_leaf_size_respected(self):
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 17)]
+        tree = build_space_tree(seeds, max_leaf_seeds=4)
+        for leaf in leaves(tree):
+            assert len(leaf.seeds) <= 4 or leaf.depth == 32
+
+    def test_leaves_partition_seeds(self):
+        seeds = [addr(f"2001:db8:{i % 3:x}::{i:x}") for i in range(1, 30)]
+        tree = build_space_tree(seeds, max_leaf_seeds=4)
+        leaf_seeds = sorted(s for leaf in leaves(tree) for s in leaf.seeds)
+        assert leaf_seeds == sorted(set(seeds))
+
+    def test_regions_contain_their_seeds(self):
+        seeds = [addr(f"2001:db8:{i % 5:x}::{i:x}") for i in range(1, 40)]
+        tree = build_space_tree(seeds)
+        for leaf in leaves(tree):
+            region = leaf.region()
+            assert all(region.contains(s) for s in leaf.seeds)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_space_tree([])
+
+
+class TestDynamicScan:
+    def test_budget_respected(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 200)]
+        result = run_sixtree(hosts[::8], _scanner(hosts), 300)
+        assert result.probes_used <= 300
+
+    def test_finds_unseen_hosts(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 250)]
+        seeds = hosts[::10]
+        result = run_sixtree(seeds, _scanner(hosts), 600)
+        new_hits = result.hits - set(seeds)
+        assert len(new_hits) > 50
+
+    def test_expansion_reaches_parent_region(self):
+        # seeds in ::1-::8; hosts also fill ::10-::ff — only reachable
+        # after expanding the leaf region upward
+        seeds = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 256)]
+        result = run_sixtree(seeds, _scanner(hosts), 400)
+        assert result.expansions >= 1
+        beyond_leaf = [h for h in result.hits if (h & 0xFFF) > 0xF]
+        assert beyond_leaf
+
+    def test_barren_region_not_expanded(self):
+        # only the seeds respond; nothing else in their region
+        seeds = [addr("2001:db8::1"), addr("2001:db8:ffff::1")]
+        result = run_sixtree(seeds, _scanner(seeds), 400, expand_threshold=0.5)
+        assert result.expansions == 0
+
+    def test_zero_budget(self):
+        result = run_sixtree([addr("::1")], _scanner(), 0)
+        assert result.probes_used == 0
+
+    def test_empty_seeds(self):
+        result = run_sixtree([], _scanner(), 100)
+        assert result.probes_used == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SixTree(_scanner(), SixTreeConfig(total_budget=-1))
+
+    def test_deterministic(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 100)]
+        a = run_sixtree(hosts[::5], _scanner(hosts), 300, rng_seed=2)
+        b = run_sixtree(hosts[::5], _scanner(hosts), 300, rng_seed=2)
+        assert a.hits == b.hits
+        assert a.probes_used == b.probes_used
+
+    def test_hit_rate_property(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 60)]
+        result = run_sixtree(hosts[:10], _scanner(hosts), 200)
+        assert 0.0 <= result.hit_rate <= 1.0

@@ -1,0 +1,84 @@
+"""Tests for the dependency-free SVG plotting module."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svgplot import Plot, Series, render_svg, save_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _simple_plot(**kwargs):
+    plot = Plot(title="T", x_label="x", y_label="y", **kwargs)
+    plot.add("a", [(0, 0), (1, 1), (2, 4)])
+    plot.add("b", [(0, 1), (1, 2), (2, 3)], dashed=True)
+    return plot
+
+
+class TestRender:
+    def test_well_formed_xml(self):
+        svg = render_svg(_simple_plot())
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_contains_series_polylines(self):
+        root = ET.fromstring(render_svg(_simple_plot()))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        assert any("stroke-dasharray" in p.attrib for p in polylines)
+
+    def test_contains_legend_labels(self):
+        svg = render_svg(_simple_plot())
+        assert ">a</text>" in svg and ">b</text>" in svg
+
+    def test_title_and_axis_labels(self):
+        svg = render_svg(_simple_plot())
+        assert ">T</text>" in svg
+        assert ">x</text>" in svg and ">y</text>" in svg
+
+    def test_escapes_markup(self):
+        plot = Plot(title="a<b & c>", x_label="x", y_label="y")
+        plot.add("s", [(0, 0), (1, 1)])
+        svg = render_svg(plot)
+        assert "a&lt;b &amp; c&gt;" in svg
+        ET.fromstring(svg)  # still parses
+
+    def test_log_axes(self):
+        plot = Plot(title="log", x_label="x", y_label="y", x_log=True, y_log=True)
+        plot.add("s", [(1, 10), (100, 1000), (10000, 100000)])
+        root = ET.fromstring(render_svg(plot))
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "10k" in texts or "100k" in texts
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_svg(Plot(title="e", x_label="x", y_label="y"))
+
+    def test_markers_per_point(self):
+        root = ET.fromstring(render_svg(_simple_plot()))
+        assert len(root.findall(f"{SVG_NS}circle")) == 6
+
+    def test_constant_series_does_not_crash(self):
+        plot = Plot(title="flat", x_label="x", y_label="y")
+        plot.add("s", [(0, 5), (1, 5), (2, 5)])
+        ET.fromstring(render_svg(plot))
+
+
+class TestSave:
+    def test_save_svg(self, tmp_path):
+        path = tmp_path / "plot.svg"
+        save_svg(_simple_plot(), path)
+        assert path.read_text().startswith("<svg")
+        ET.fromstring(path.read_text())
+
+
+class TestSeriesDataclass:
+    def test_explicit_color(self):
+        plot = Plot(title="c", x_label="x", y_label="y")
+        plot.add("s", [(0, 0), (1, 1)], color="#123456")
+        assert '#123456' in render_svg(plot)
+
+    def test_series_fields(self):
+        s = Series(label="l", points=[(0, 0)])
+        assert s.color is None and not s.dashed

@@ -1,0 +1,84 @@
+"""Tests for the §7.1 train-and-test methodology."""
+
+import pytest
+
+from repro.analysis.traintest import (
+    entropyip_generator,
+    inverse_kfold,
+    sixgen_generator,
+    split_folds,
+    train_and_test,
+)
+
+from conftest import addr
+
+
+def _population():
+    return [addr(f"2001:db8:{x:x}::{y:x}") for x in range(4) for y in range(1, 51)]
+
+
+class TestSplitFolds:
+    def test_partition(self):
+        pool = _population()
+        folds = split_folds(pool, k=10, rng_seed=0)
+        assert len(folds) == 10
+        flattened = [a for fold in folds for a in fold]
+        assert sorted(flattened) == sorted(pool)
+        sizes = {len(f) for f in folds}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        pool = _population()
+        assert split_folds(pool, rng_seed=1) == split_folds(pool, rng_seed=1)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            split_folds([1, 2], k=1)
+
+
+class TestTrainAndTest:
+    def test_fraction_monotone_in_budget(self):
+        pool = _population()
+        folds = split_folds(pool, k=10, rng_seed=0)
+        train = folds[0]
+        test = [a for fold in folds[1:] for a in fold]
+        points = train_and_test(train, test, sixgen_generator, [50, 500, 2000])
+        fractions = [p.fraction for p in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.5  # structured network is recoverable
+
+    def test_point_fields(self):
+        points = train_and_test([addr("::1")], [addr("::2")], sixgen_generator, [10])
+        assert points[0].budget == 10
+        assert points[0].test_size == 1
+
+    def test_zero_test_size(self):
+        points = train_and_test([addr("::1")], [], sixgen_generator, [10])
+        assert points[0].fraction == 0.0
+
+
+class TestGenerators:
+    def test_sixgen_generator_budget(self):
+        train = [addr(f"2001:db8::{i:x}") for i in range(1, 9)]
+        targets = sixgen_generator(train, 100)
+        assert len(targets) <= 100 + len(train)
+        assert set(train) <= targets
+
+    def test_entropyip_generator_budget(self):
+        train = [addr(f"2001:db8:{x:x}::{y:x}") for x in range(4) for y in range(1, 20)]
+        targets = entropyip_generator(train, 200)
+        assert len(targets) <= 200
+
+
+class TestInverseKfold:
+    def test_single_fold(self):
+        points = inverse_kfold(_population(), sixgen_generator, [500], folds_to_run=1)
+        assert len(points) == 1
+        assert points[0].test_size == pytest.approx(180, abs=2)
+
+    def test_multi_fold_average(self):
+        points = inverse_kfold(
+            _population(), sixgen_generator, [500], folds_to_run=3
+        )
+        assert len(points) == 1
+        assert 0.0 <= points[0].fraction <= 1.0

@@ -1,0 +1,85 @@
+"""Tests for world-spec validation."""
+
+from repro.ipv6.prefix import Prefix
+from repro.simnet.ground_truth import NetworkSpec, default_internet
+from repro.simnet.validate import errors, validate_specs
+
+
+def _good_spec(**kwargs):
+    defaults = dict(
+        asn=1,
+        routed_prefix=Prefix.parse("2001:db8::/32"),
+        policy_name="low-byte",
+        host_count=10,
+        subnet_count=2,
+    )
+    defaults.update(kwargs)
+    return NetworkSpec(**defaults)
+
+
+class TestValid:
+    def test_clean_spec_passes(self):
+        assert validate_specs([_good_spec()]) == []
+
+    def test_default_internet_specs_pass(self):
+        internet = default_internet(scale=0.05)
+        specs = [n.spec for n in internet.networks]
+        assert errors(validate_specs(specs)) == []
+
+
+class TestErrors:
+    def test_duplicate_prefix(self):
+        problems = validate_specs([_good_spec(), _good_spec(asn=2)])
+        assert any("duplicate routed prefix" in str(p) for p in errors(problems))
+
+    def test_unknown_policy(self):
+        problems = validate_specs([_good_spec(policy_name="nope")])
+        assert any("unknown policy" in str(p) for p in errors(problems))
+
+    def test_bad_policy_kwargs(self):
+        problems = validate_specs(
+            [_good_spec(policy_kwargs={"not_a_field": 1})]
+        )
+        assert any("bad policy kwargs" in str(p) for p in errors(problems))
+
+    def test_subnet_shorter_than_prefix(self):
+        problems = validate_specs([_good_spec(subnet_length=16)])
+        assert errors(problems)
+
+    def test_nonpositive_counts(self):
+        problems = validate_specs([_good_spec(host_count=0, subnet_count=0)])
+        assert len(errors(problems)) == 2
+
+    def test_rate_bounds(self):
+        problems = validate_specs([_good_spec(seed_rate=1.5)])
+        assert any("seed_rate" in str(p) for p in errors(problems))
+
+    def test_aliased_region_outside_prefix(self):
+        problems = validate_specs([_good_spec(aliased_lengths=(16,))])
+        assert errors(problems)
+
+
+class TestWarnings:
+    def test_aliased_seeds_without_regions(self):
+        problems = validate_specs([_good_spec(aliased_seed_count=10)])
+        assert problems and all(p.severity == "warning" for p in problems)
+
+    def test_regions_without_seeds(self):
+        problems = validate_specs([_good_spec(aliased_lengths=(96,))])
+        assert any("without aliased seeds" in p.message for p in problems)
+        assert not errors(problems)
+
+    def test_nested_prefixes_across_asns(self):
+        specs = [
+            _good_spec(),
+            _good_spec(
+                asn=2, routed_prefix=Prefix.parse("2001:db8:1::/48")
+            ),
+        ]
+        problems = validate_specs(specs)
+        assert any("nested inside" in p.message for p in problems)
+        assert not errors(problems)
+
+    def test_problem_str(self):
+        problems = validate_specs([_good_spec(aliased_seed_count=5)])
+        assert str(problems[0]).startswith("[warning] spec 0:")

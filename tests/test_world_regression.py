@@ -1,0 +1,111 @@
+"""Regression pins for the default simulated world.
+
+The experiment shapes in EXPERIMENTS.md depend on the default world's
+statistical properties; these tests pin the load-bearing ones so a
+future edit to ``default_internet`` that silently breaks a paper shape
+fails here first, with a readable message.
+"""
+
+import pytest
+
+from repro.ipv6 import patterns
+from repro.simnet import collect_seeds, default_internet, group_by_routed_prefix
+
+
+@pytest.fixture(scope="module")
+def world():
+    internet = default_internet(scale=0.3, rng_seed=42)
+    seeds = collect_seeds(internet, rng_seed=7)
+    return internet, seeds
+
+
+class TestSeedPopulation:
+    def test_seed_scale(self, world):
+        internet, seeds = world
+        assert 1_500 <= len(seeds.addresses()) <= 4_000
+
+    def test_every_seed_routed(self, world):
+        internet, seeds = world
+        for addr in seeds.addresses():
+            assert internet.bgp.origin_asn(addr) is not None
+
+    def test_seed_distribution_not_dominated(self, world):
+        # Table 1a shape: no AS holds more than a quarter of seeds.
+        from repro.simnet import group_by_asn
+
+        internet, seeds = world
+        groups = group_by_asn(seeds.addresses(), internet.bgp)
+        total = len(seeds.addresses())
+        assert max(len(v) for v in groups.values()) / total < 0.25
+
+    def test_most_seeds_responsive(self, world):
+        # churn keeps a small minority of seeds dark
+        internet, seeds = world
+        addresses = seeds.addresses()
+        responsive = sum(
+            1 for a in addresses if internet.truth.is_responsive(a, 80)
+        )
+        assert 0.85 < responsive / len(addresses) <= 1.0
+
+
+class TestAliasingStructure:
+    def test_aliased_as_identity(self, world):
+        internet, _ = world
+        aliased_asns = {
+            n.spec.asn for n in internet.networks if n.aliased_regions
+        }
+        assert aliased_asns == {20940, 16509, 13335, 15817}
+
+    def test_akamai_has_multiple_aliased_prefixes(self, world):
+        # Table 1b depends on Akamai originating several aliased prefixes.
+        internet, _ = world
+        akamai = internet.network_for_asn(20940)
+        assert len(akamai) >= 3
+        assert sum(1 for n in akamai if n.aliased_regions) >= 3
+
+    def test_region_granularities(self, world):
+        internet, _ = world
+        lengths = sorted(
+            {r.prefix.length for r in internet.truth.aliased}
+        )
+        assert 56 in lengths      # Akamai-style
+        assert 96 in lengths      # Amazon-style
+        assert 112 in lengths     # Cloudflare/Mittwald-style
+
+    def test_aliased_seeds_are_structured(self, world):
+        # the load-bearing property from docs/simulation.md: aliased
+        # regions receive clusterable (chunked) seeds
+        internet, seeds = world
+        aliased_seeds = [
+            a for a in seeds.addresses() if internet.truth.is_aliased(a)
+        ]
+        assert len(aliased_seeds) > 100
+        # chunked structure: many seeds share their /120 with another seed
+        chunks = {}
+        for a in aliased_seeds:
+            chunks.setdefault(a >> 8, []).append(a)
+        sharing = sum(len(v) for v in chunks.values() if len(v) >= 2)
+        assert sharing / len(aliased_seeds) > 0.5
+
+
+class TestAllocationDiversity:
+    def test_pattern_classes_present(self, world):
+        # Figure 6/7 shapes need several allocation practices visible.
+        internet, seeds = world
+        labels = {
+            patterns.classify_iid(a)
+            for a in seeds.addresses()
+            if not internet.truth.is_aliased(a)
+        }
+        assert {"low-byte", "eui64"} <= labels
+        assert len(labels) >= 4
+
+    def test_prefix_group_sizes_span_buckets(self, world):
+        # Figures 5/7 bucket prefixes by seed count; the default world
+        # must populate at least the first three buckets.
+        internet, seeds = world
+        groups = group_by_routed_prefix(seeds.addresses(), internet.bgp)
+        sizes = [len(v) for v in groups.values()]
+        assert any(2 <= s < 10 for s in sizes)
+        assert any(10 <= s < 100 for s in sizes)
+        assert any(100 <= s < 1000 for s in sizes)

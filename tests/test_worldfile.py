@@ -1,0 +1,116 @@
+"""Tests for world-file serialization."""
+
+import json
+
+import pytest
+
+from repro.ipv6.prefix import Prefix
+from repro.simnet.ground_truth import NetworkSpec, default_internet
+from repro.simnet.worldfile import (
+    WorldFileError,
+    load_world,
+    save_internet,
+    save_world,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+def _spec():
+    return NetworkSpec(
+        asn=64512,
+        routed_prefix=Prefix.parse("2001:db8::/32"),
+        policy_name="low-byte",
+        policy_kwargs={"bits": 12},
+        host_count=60,
+        subnet_count=3,
+        aliased_lengths=(96,),
+        aliased_seed_count=10,
+        seed_rate=0.4,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip(self):
+        spec = _spec()
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_defaults_filled(self):
+        spec = spec_from_dict({"asn": 1, "routed_prefix": "2001:db8::/32"})
+        assert spec.policy_name == "low-byte"
+        assert spec.subnet_length == 64
+
+    def test_invalid_rejected(self):
+        with pytest.raises(WorldFileError):
+            spec_from_dict({"asn": 1, "routed_prefix": "not-a-prefix/zz"})
+        with pytest.raises(WorldFileError):
+            spec_from_dict({"routed_prefix": "2001:db8::/32"})
+
+
+class TestWorldRoundTrip:
+    def test_save_load_identical_world(self, tmp_path):
+        path = tmp_path / "world.json"
+        save_world(path, [_spec()], rng_seed=99)
+        a = load_world(path)
+        b = load_world(path)
+        assert a.all_active_hosts() == b.all_active_hosts()
+        assert a.truth.host_count(80) > 0
+        assert len(a.truth.aliased) == 1
+
+    def test_save_internet_reproduces(self, tmp_path):
+        original = default_internet(scale=0.05, rng_seed=7)
+        path = tmp_path / "world.json"
+        save_internet(path, original)
+        rebuilt = load_world(path)
+        assert rebuilt.all_active_hosts() == original.all_active_hosts()
+        assert {str(p) for p in rebuilt.routed_prefixes()} == {
+            str(p) for p in original.routed_prefixes()
+        }
+
+    def test_port_rates_preserved(self, tmp_path):
+        path = tmp_path / "world.json"
+        save_world(path, [_spec()], rng_seed=1, port_rates={443: 1.0})
+        world = load_world(path)
+        assert world.truth.host_count(443) == world.truth.host_count(80)
+        assert world.truth.host_count(25) == 0
+
+
+class TestErrors:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(WorldFileError):
+            load_world(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro-world", "version": 99}))
+        with pytest.raises(WorldFileError):
+            load_world(path)
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(WorldFileError):
+            load_world(path)
+
+    def test_rejects_empty_specs(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format": "repro-world", "version": 1, "specs": []})
+        )
+        with pytest.raises(WorldFileError):
+            load_world(path)
+
+
+class TestValidationOnLoad:
+    def test_invalid_world_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        save_world(path, [_spec()], rng_seed=1)
+        import json as json_mod
+
+        doc = json_mod.loads(path.read_text())
+        doc["specs"].append(dict(doc["specs"][0]))  # duplicate prefix
+        path.write_text(json_mod.dumps(doc))
+        with pytest.raises(WorldFileError, match="validation"):
+            load_world(path)
