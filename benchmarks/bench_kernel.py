@@ -1,0 +1,110 @@
+"""Kernel benchmark: vectorised 6Gen hot path vs the reference path.
+
+Runs a Figure-2-style seed-count sweep, timing each tier on both the
+vectorised kernel (``use_vector_kernel=True``) and the reference
+implementation, verifying on every run that the two produce identical
+target sets, and writes the medians and speedups to
+``BENCH_sixgen.json`` (see DESIGN.md "Performance" for how to read it).
+
+Standalone script, not a pytest benchmark — CI runs it with ``--quick``
+and fails the build if the paths ever diverge:
+
+    python benchmarks/bench_kernel.py [--quick] [--out BENCH_sixgen.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import experiments as ex  # noqa: E402
+from repro.core.sixgen import run_6gen  # noqa: E402
+
+FULL_TIERS = (30, 100, 300, 1000, 2000)
+QUICK_TIERS = (30, 100, 300)
+BUDGET = 10_000
+SCALE = 0.3
+
+
+def bench_tier(pool: list[int], n: int, repeats: int) -> dict:
+    """Median runtime of both paths on one deterministic n-seed subset."""
+    subset = random.Random(1000 * n).sample(pool, n)
+    timings: dict[bool, list[float]] = {True: [], False: []}
+    identical = True
+    for _ in range(repeats):
+        results = {}
+        for vector in (True, False):
+            start = time.perf_counter()
+            results[vector] = run_6gen(subset, BUDGET, use_vector_kernel=vector)
+            timings[vector].append(time.perf_counter() - start)
+        if results[True].target_set() != results[False].target_set():
+            identical = False
+    baseline = statistics.median(timings[False])
+    vectorised = statistics.median(timings[True])
+    return {
+        "seeds": n,
+        "baseline_median_s": round(baseline, 4),
+        "vector_median_s": round(vectorised, 4),
+        "speedup": round(baseline / vectorised, 2) if vectorised else None,
+        "identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small tiers / fewer repeats (CI divergence gate)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_sixgen.json",
+        help="output JSON path (default: repo-root BENCH_sixgen.json)",
+    )
+    args = parser.parse_args(argv)
+    if not args.out.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.out.parent}")
+
+    tiers = QUICK_TIERS if args.quick else FULL_TIERS
+    repeats = 2 if args.quick else 3
+    pool = sorted(int(a) for a in ex.standard_context(SCALE).seed_addresses)
+
+    rows = []
+    for n in tiers:
+        row = bench_tier(pool, n, repeats)
+        rows.append(row)
+        print(
+            f"seeds={row['seeds']:>5}  baseline={row['baseline_median_s']:.3f}s  "
+            f"vector={row['vector_median_s']:.3f}s  speedup={row['speedup']}x  "
+            f"identical={row['identical']}"
+        )
+
+    payload = {
+        "benchmark": "sixgen_vector_kernel",
+        "scale": SCALE,
+        "budget": BUDGET,
+        "repeats": repeats,
+        "quick": args.quick,
+        "tiers": rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if not all(row["identical"] for row in rows):
+        print("DIVERGENCE: vectorised kernel output differs from reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,8 +122,17 @@ def run_per_prefix(
     if processes and processes > 1 and len(work) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        # Seed-count distributions are heavy-tailed (Figure 4): a few
+        # prefixes dominate the runtime.  Submit largest-first with
+        # chunksize=1 so a giant prefix never queues behind a chunk of
+        # small ones at the tail of the pool — with the default
+        # (sorted-by-prefix, auto-chunked) layout the whole run waits on
+        # whichever worker happened to draw the biggest group last.
+        work.sort(key=lambda item: (-len(item[1]), item[0]))
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            for prefix, seeds, prefix_budget, result in pool.map(_run_one, work):
+            for prefix, seeds, prefix_budget, result in pool.map(
+                _run_one, work, chunksize=1
+            ):
                 out.runs[prefix] = PrefixRun(
                     prefix=prefix, seeds=seeds, budget=prefix_budget, result=result
                 )

@@ -28,18 +28,43 @@ from ..ipv6.nybble import NYBBLE_COUNT
 from ..ipv6.range_ import NybbleRange
 
 
+_LOW64 = (1 << 64) - 1
+
+#: Powers of two for packing 32 per-position flags into one integer.
+_POS_BITS = 1 << np.arange(NYBBLE_COUNT, dtype=np.uint64)
+
+#: The least-significant bit of every nybble of a 64-bit word.
+_NYBBLE_LSB = np.uint64(0x1111111111111111)
+
+
+def _nonzero_nybbles(x: np.ndarray) -> np.ndarray:
+    """Count non-zero nybbles of each uint64 (16 nybbles per word)."""
+    one, two, three = np.uint64(1), np.uint64(2), np.uint64(3)
+    collapsed = (x | (x >> one) | (x >> two) | (x >> three)) & _NYBBLE_LSB
+    return np.bitwise_count(collapsed)
+
+#: Shifts that extract the 16 nybbles of a 64-bit half, MSB first.
+_HALF_SHIFTS = np.arange(60, -1, -4, dtype=np.uint64)
+
+
 class SeedMatrix:
     """Seed nybbles in matrix form for vectorised distance queries."""
 
     def __init__(self, seeds: Sequence[int]):
         self._seeds = list(int(s) for s in seeds)
         n = len(self._seeds)
-        nybbles = np.zeros((n, NYBBLE_COUNT), dtype=np.uint8)
-        for row, value in enumerate(self._seeds):
-            for i in range(NYBBLE_COUNT - 1, -1, -1):
-                nybbles[row, i] = value & 0xF
-                value >>= 4
+        # Python big-ints cannot be vectorised directly; split each seed
+        # into two uint64 halves and unpack all 16 nybbles of each half
+        # with one broadcast shift/mask instead of a 32-step inner loop.
+        hi = np.fromiter((s >> 64 for s in self._seeds), dtype=np.uint64, count=n)
+        lo = np.fromiter((s & _LOW64 for s in self._seeds), dtype=np.uint64, count=n)
+        nybbles = np.empty((n, NYBBLE_COUNT), dtype=np.uint8)
+        half = NYBBLE_COUNT // 2
+        nybbles[:, :half] = (hi[:, np.newaxis] >> _HALF_SHIFTS) & 0xF
+        nybbles[:, half:] = (lo[:, np.newaxis] >> _HALF_SHIFTS) & 0xF
         self._nybbles = nybbles
+        self._hi = hi
+        self._lo = lo
 
     def __len__(self) -> int:
         return len(self._seeds)
@@ -73,13 +98,96 @@ class SeedMatrix:
         Returns ``(0, [])`` when every seed already lies inside the
         range (no candidates: the cluster contains all seeds).
         """
-        distances = self.distances_to_range(range_)
+        return self.min_positive_from(self.distances_to_range(range_))
+
+    @staticmethod
+    def min_positive_from(distances: np.ndarray) -> tuple[int, list[int]]:
+        """Minimum positive distance and attaining indices of a vector."""
         positive = distances[distances > 0]
         if positive.size == 0:
             return 0, []
         min_dist = int(positive.min())
         indices = np.nonzero(distances == min_dist)[0]
         return min_dist, [int(i) for i in indices]
+
+    def mismatch_bits(
+        self, range_: NybbleRange, indices: Sequence[int]
+    ) -> list[int]:
+        """Per-candidate mismatch positions against a range, bit-packed.
+
+        For each seed index, returns a 32-bit integer with bit ``p`` set
+        when the seed's nybble at position ``p`` falls outside the
+        range's value mask (the positions a span would widen) — the
+        subset-test currency of the vectorised growth evaluation.
+        """
+        idx = np.fromiter(indices, dtype=np.intp, count=len(indices))
+        sub = self._nybbles[idx]
+        masks = np.array(range_.masks, dtype=np.uint32)
+        outside = ((masks[np.newaxis, :] >> sub) & 1) == 0
+        packed = outside.astype(np.uint64) @ _POS_BITS
+        return [int(p) for p in packed]
+
+    def all_pairs_min_candidates(
+        self, block_rows: int | None = None
+    ) -> list[tuple[int, list[int]]]:
+        """Per-seed nearest-neighbour candidates, computed in one blocked pass.
+
+        For every seed this returns exactly what
+        :meth:`min_positive_candidates` returns for that seed's singleton
+        range — the minimum positive nybble distance to any other seed
+        and the ascending indices attaining it — but the N independent
+        ``(N, 32)`` scans collapse into ``N / block_rows`` broadcast
+        comparisons, which is what makes 6Gen's singleton initialisation
+        O(N²) in vector ops instead of O(N²) in Python/numpy calls.
+        """
+        n = len(self._seeds)
+        if n == 0:
+            return []
+        if block_rows is None:
+            # ~16 MB of uint64 temporaries per block.
+            block_rows = max(1, (1 << 21) // max(1, n))
+        sentinel = NYBBLE_COUNT + 1
+        out: list[tuple[int, list[int]]] = []
+        for start in range(0, n, block_rows):
+            # Nybble Hamming distance via the packed 64-bit halves: XOR,
+            # collapse each nybble to its low bit, popcount — ~20 word
+            # ops per pair instead of 32 byte compares plus a reduction.
+            stop = min(start + block_rows, n)
+            diff_hi = _nonzero_nybbles(self._hi[start:stop, np.newaxis] ^ self._hi)
+            diff_lo = _nonzero_nybbles(self._lo[start:stop, np.newaxis] ^ self._lo)
+            diff = (diff_hi + diff_lo).astype(np.int16)
+            # Zero distances (the seed itself, and any duplicates) are
+            # not candidates: mask them past the maximum distance.
+            diff[diff == 0] = sentinel
+            mins = diff.min(axis=1)
+            for r in range(diff.shape[0]):
+                min_dist = int(mins[r])
+                if min_dist >= sentinel:
+                    out.append((0, []))
+                else:
+                    indices = np.nonzero(diff[r] == min_dist)[0]
+                    out.append((min_dist, [int(i) for i in indices]))
+        return out
+
+    def widen_distances_inplace(
+        self, distances: np.ndarray, old: NybbleRange, new: NybbleRange
+    ) -> None:
+        """Update a cached range-distance vector after a cluster growth.
+
+        ``distances`` must be the vector previously computed for ``old``
+        (via :meth:`distances_to_range`); ``new`` must be a widening of
+        ``old`` (cluster growth only ever widens masks).  Only positions
+        whose value mask actually changed are touched, and at a changed
+        position a seed's distance can only drop by one — when its
+        nybble is among the newly allowed values.
+        """
+        nyb = self._nybbles
+        for pos, (old_mask, new_mask) in enumerate(zip(old.masks, new.masks)):
+            gained = new_mask & ~old_mask
+            if not gained:
+                continue
+            hit = (np.uint32(gained) >> nyb[:, pos]) & 1
+            np.subtract(distances, 1, out=distances, where=hit.astype(bool))
 
 
 def find_candidates_python(

@@ -78,3 +78,22 @@ class Growth:
             cached = (self.density(), -self.new_range.size(), self.salt)
             object.__setattr__(self, "_key", cached)
         return cached
+
+
+def growth_beats(a: Growth, b: Growth) -> bool:
+    """True if growth ``a`` strictly beats ``b`` under the §5.4 rule.
+
+    Exactly equivalent to ``a.sort_key() > b.sort_key()`` but compares
+    densities by integer cross-multiplication instead of building
+    :class:`~fractions.Fraction` objects — the selection loop and the
+    vectorised kernel's heap perform millions of these comparisons.
+    """
+    a_size = a.new_range.size()
+    b_size = b.new_range.size()
+    left = a.new_seed_count * b_size
+    right = b.new_seed_count * a_size
+    if left != right:
+        return left > right
+    if a_size != b_size:
+        return a_size < b_size
+    return a.salt > b.salt

@@ -29,16 +29,20 @@ growth (budget permitting) and then stop.
 
 from __future__ import annotations
 
+import heapq
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
+from ..ipv6.nybble import FULL_MASK, NYBBLE_COUNT, popcount16
 from ..ipv6.nybble_tree import NybbleTree
 from ..ipv6.range_ import NybbleRange
 from .budget import BudgetExceeded, ExactLedger, make_ledger
 from .candidates import SeedMatrix, find_candidates_python
-from .cluster import Cluster, Growth
+from .cluster import Cluster, Growth, growth_beats
 
 
 @dataclass
@@ -63,6 +67,14 @@ class SixGenConfig:
         Cache each cluster's best growth between iterations (§5.5).
         Disabling recomputes every cluster every iteration (the naive
         algorithm) — used by the caching ablation benchmark.
+    use_vector_kernel
+        Run the batched/incremental hot path: one blocked all-pairs
+        numpy pass for singleton initialisation, per-cluster distance
+        vectors updated only at mask positions that widened, batched
+        nybble-tree counting of candidate spans, and heap-based growth
+        selection.  Bit-for-bit identical output to the reference path
+        for a fixed ``rng_seed``; requires ``use_seed_matrix``.  The
+        reference path remains the correctness oracle for parity tests.
     rng_seed
         Seed for the tie-breaking / sampling RNG, for reproducible runs.
     """
@@ -72,6 +84,7 @@ class SixGenConfig:
     ledger: str = "exact"
     use_seed_matrix: bool = True
     use_growth_cache: bool = True
+    use_vector_kernel: bool = True
     rng_seed: int | None = 0
 
 
@@ -125,11 +138,31 @@ class SixGenResult:
         addresses come last.  Cutting this stream at any point yields
         the best available target list of that size under 6Gen's own
         density assumption.
+
+        When the run used the exact ledger its covered set (already the
+        full deduplicated target set) bounds the work: each address is
+        struck off as emitted and the walk stops as soon as every
+        target has been yielded, so fully-overlapped trailing cluster
+        ranges are never re-materialised.
         """
-        emitted: set[int] = set()
         ordered = sorted(
             self.clusters, key=lambda c: (-c.density(), c.range.size())
         )
+        if self._targets is not None:
+            remaining = set(self._targets)
+            for cluster in ordered:
+                if not remaining:
+                    return
+                for addr in cluster.range.iter_ints():
+                    if addr in remaining:
+                        remaining.discard(addr)
+                        yield addr
+            for addr in self.sampled:
+                if addr in remaining:
+                    remaining.discard(addr)
+                    yield addr
+            return
+        emitted: set[int] = set()
         for cluster in ordered:
             for addr in cluster.range.iter_ints():
                 if addr not in emitted:
@@ -148,6 +181,34 @@ class SixGenResult:
         return indices
 
 
+def _nybble_value_mask(mbits: int) -> int:
+    """Expand a 32-bit position mask to 0xF at each set position's nybble."""
+    vmask = 0
+    while mbits:
+        low = mbits & -mbits
+        vmask |= 0xF << (4 * (low.bit_length() - 1))
+        mbits ^= low
+    return vmask
+
+
+class _HeapEntry:
+    """Max-heap wrapper for (growth, cluster) pairs with lazy invalidation.
+
+    ``heapq`` builds min-heaps, so "less than" here means "strictly
+    better growth"; entries are invalidated implicitly when the owning
+    cluster's cached best growth is replaced or the cluster is deleted.
+    """
+
+    __slots__ = ("growth", "cid")
+
+    def __init__(self, growth: Growth, cid: int):
+        self.growth = growth
+        self.cid = cid
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return growth_beats(self.growth, other.growth)
+
+
 class SixGen:
     """A single 6Gen run over one seed set (typically one routed prefix)."""
 
@@ -163,6 +224,20 @@ class SixGen:
         self._singleton_by_seed: dict[int, int] = {}
         self._next_id = 0
         self.iterations = 0
+        self.vectorised = config.use_vector_kernel and self.matrix is not None
+        #: Cached distance-to-every-seed vectors, keyed by cluster id.
+        #: Populated lazily (clusters that never grow never need one) and
+        #: updated incrementally on growth: masks only widen, so only the
+        #: changed positions can lower a seed's distance.
+        self._dist: dict[int, np.ndarray] = {}
+        #: Packed 512-bit mask signatures of grown clusters, for O(1)
+        #: encapsulation checks in the vectorised path.
+        self._grown_sigs: dict[int, int] = {}
+        # Heap selection needs stable cached growths between iterations;
+        # the no-cache ablation redraws every growth each iteration, so
+        # it keeps the linear scan.
+        self._use_heap = self.vectorised and config.use_growth_cache
+        self._heap: list[_HeapEntry] = []
 
     # -- internals ---------------------------------------------------------
     def _find_candidates(self, range_: NybbleRange) -> list[int]:
@@ -172,6 +247,12 @@ class SixGen:
         else:
             _, indices = find_candidates_python(range_, self.seeds)
         return indices
+
+    def _set_best(self, cid: int, growth: Growth | None) -> None:
+        """Record a cluster's cached best growth (and index it for the heap)."""
+        self._best[cid] = growth
+        if self._use_heap and growth is not None:
+            heapq.heappush(self._heap, _HeapEntry(growth, cid))
 
     def _evaluate(self, cluster: Cluster) -> Growth | None:
         """Best growth for one cluster, or ``None`` if it holds all seeds.
@@ -196,6 +277,154 @@ class SixGen:
                 best = growth
         return best
 
+    # -- vectorised kernel -------------------------------------------------
+    def _best_growth_for(
+        self,
+        range_: NybbleRange,
+        seed_count: int,
+        indices: Sequence[int],
+        mbits_list: list[int] | None = None,
+        vvals: list[int] | None = None,
+    ) -> Growth | None:
+        """Best growth of a range by the given candidate seed indices.
+
+        The vectorised analogue of :meth:`_evaluate`'s candidate loop:
+        span masks are built directly from the matrix's nybble rows with
+        the range size tracked incrementally (skipping range
+        re-validation), and comparisons use exact integer
+        cross-multiplication.  Candidate order, span dedup, and the RNG
+        salt sequence are identical to the reference path.
+
+        ``indices`` must be *all* seeds at the minimum positive distance
+        ``d`` from the range (``seed_count`` is the range's current seed
+        count).  That minimality gives an exact counting shortcut: a
+        seed inside a candidate's span has distance ≤ d from the range,
+        hence distance 0 (already counted) or exactly d (a candidate).
+        So each span's post-growth count is ``seed_count`` plus the
+        candidates lying inside it — an O(C²) bit-mask check instead of
+        per-span nybble-tree walks.  Mismatch positions are packed into
+        one int (and mismatch values into another for tight mode), so
+        "candidate k inside candidate c's span" is one subset test.
+        Large candidate sets fall back to the shared-traversal
+        :meth:`~repro.ipv6.nybble_tree.NybbleTree.count_in_ranges`.
+
+        ``mbits_list`` / ``vvals`` may carry precomputed mismatch bits
+        and (tight mode) packed mismatch nybble values for each
+        candidate — the init path derives them from seed XORs without
+        any numpy round-trip.
+        """
+        if not indices:
+            return None
+        loose = self.config.loose
+        base_masks = range_.masks
+        base_size = range_.size()
+        if mbits_list is None:
+            mbits_list = self.matrix.mismatch_bits(range_, indices)
+        spans: list[NybbleRange] = []
+        span_bits: list[tuple[int, int]] = []
+        seen: set = set()
+        if loose:
+            # A loose span is fully determined by the set of widened
+            # positions, so the packed mismatch bits are the dedup key
+            # and duplicate candidates never build a mask list at all.
+            for c in range(len(indices)):
+                mbits = mbits_list[c]
+                if mbits in seen:
+                    continue
+                seen.add(mbits)
+                masks = list(base_masks)
+                size = base_size
+                m = mbits
+                while m:
+                    low = m & -m
+                    m ^= low
+                    pos = low.bit_length() - 1
+                    size = size // popcount16(masks[pos]) * 16
+                    masks[pos] = FULL_MASK
+                spans.append(NybbleRange._make(tuple(masks), size))
+                span_bits.append((mbits, 0))
+        else:
+            # Tight spans also depend on the candidate's nybble values
+            # at the widened positions; pack those alongside (nybble of
+            # position p lives at bits 4p..4p+3).
+            if vvals is None:
+                vvals = []
+                for c, idx in enumerate(indices):
+                    seed = self.seeds[idx]
+                    m = mbits_list[c]
+                    vval = 0
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        pos = low.bit_length() - 1
+                        nybble = (seed >> (4 * (NYBBLE_COUNT - 1 - pos))) & 0xF
+                        vval |= nybble << (4 * pos)
+                    vvals.append(vval)
+            for c in range(len(indices)):
+                mbits = mbits_list[c]
+                vval = vvals[c]
+                key = (mbits, vval)
+                if key in seen:
+                    continue
+                seen.add(key)
+                masks = list(base_masks)
+                size = base_size
+                m = mbits
+                while m:
+                    low = m & -m
+                    m ^= low
+                    pos = low.bit_length() - 1
+                    count = popcount16(masks[pos])
+                    masks[pos] |= 1 << ((vval >> (4 * pos)) & 0xF)
+                    size = size // count * (count + 1)
+                spans.append(NybbleRange._make(tuple(masks), size))
+                span_bits.append(key)
+        if len(indices) > 64:
+            counts = self.tree.count_in_ranges(spans)
+        elif loose:
+            counts = [
+                seed_count + sum(1 for m in mbits_list if not m & ~c_mbits)
+                for c_mbits, _ in span_bits
+            ]
+        else:
+            counts = []
+            for c_mbits, c_vval in span_bits:
+                inside = 0
+                for k, k_mbits in enumerate(mbits_list):
+                    if not k_mbits & ~c_mbits:
+                        k_vval = vvals[k]
+                        vmask = _nybble_value_mask(k_mbits)
+                        if c_vval & vmask == k_vval:
+                            inside += 1
+                counts.append(seed_count + inside)
+        best: Growth | None = None
+        for span, span_count in zip(spans, counts):
+            growth = Growth(span, span_count, self.rng.random())
+            if best is None or growth_beats(growth, best):
+                best = growth
+        return best
+
+    def _evaluate_vector(self, cid: int) -> Growth | None:
+        """Vectorised :meth:`_evaluate` using the cached distance vector."""
+        cluster = self._clusters[cid]
+        vec = self._dist.get(cid)
+        if vec is None:
+            vec = self.matrix.distances_to_range(cluster.range).astype(np.int16)
+            self._dist[cid] = vec
+        _, indices = SeedMatrix.min_positive_from(vec)
+        return self._best_growth_for(cluster.range, cluster.seed_count, indices)
+
+    def _widen_distance_cache(
+        self, cid: int, old_range: NybbleRange, new_range: NybbleRange
+    ) -> None:
+        """Bring a cluster's distance vector forward across one growth."""
+        vec = self._dist.get(cid)
+        if vec is None:
+            vec = self.matrix.distances_to_range(old_range).astype(np.int16)
+        self.matrix.widen_distances_inplace(vec, old_range, new_range)
+        self._dist[cid] = vec
+
+    # -- algorithm steps ---------------------------------------------------
     def _init_clusters(self) -> None:
         """One singleton cluster per seed (Function InitClusters)."""
         for seed in self.seeds:
@@ -203,11 +432,68 @@ class SixGen:
             self._next_id += 1
             self._clusters[cid] = Cluster(NybbleRange.from_address(seed), 1)
             self._singleton_by_seed[seed] = cid
-        for cid, cluster in self._clusters.items():
-            self._best[cid] = self._evaluate(cluster)
+        if self.vectorised:
+            # Cluster ids were assigned in seed (= matrix row) order, so
+            # row i's nearest-neighbour candidates belong to cluster i.
+            # A singleton's mask holds exactly its own nybbles, so each
+            # candidate's mismatch positions (and values, for tight
+            # mode) fall straight out of the integer XOR of the two
+            # seeds — no per-singleton numpy calls at all.
+            all_candidates = self.matrix.all_pairs_min_candidates()
+            seeds = self.seeds
+            tight = not self.config.loose
+            for cid, (_, indices) in enumerate(all_candidates):
+                seed_i = seeds[cid]
+                mbits_list: list[int] = []
+                vvals: list[int] | None = [] if tight else None
+                for j in indices:
+                    x = seed_i ^ seeds[j]
+                    mbits = 0
+                    vval = 0
+                    while x:
+                        b = x & -x
+                        nyb_from_lsb = (b.bit_length() - 1) >> 2
+                        x &= ~(0xF << (4 * nyb_from_lsb))
+                        pos = NYBBLE_COUNT - 1 - nyb_from_lsb
+                        mbits |= 1 << pos
+                        if tight:
+                            nybble = (seeds[j] >> (4 * nyb_from_lsb)) & 0xF
+                            vval |= nybble << (4 * pos)
+                    mbits_list.append(mbits)
+                    if tight:
+                        vvals.append(vval)
+                self._set_best(
+                    cid,
+                    self._best_growth_for(
+                        self._clusters[cid].range,
+                        1,
+                        indices,
+                        mbits_list=mbits_list,
+                        vvals=vvals,
+                    ),
+                )
+        else:
+            for cid, cluster in self._clusters.items():
+                self._set_best(cid, self._evaluate(cluster))
 
     def _select_growth(self) -> tuple[int, Growth] | None:
-        """The best (cluster, growth) pair this iteration, if any."""
+        """The best (cluster, growth) pair this iteration, if any.
+
+        The vectorised kernel keeps every cached growth in a lazily
+        invalidated max-heap: stale entries (cluster deleted, or its
+        best growth since replaced) are popped on sight, so selection is
+        O(log n) amortised instead of a full scan with exact-fraction
+        comparisons.  Full sort keys are unique in practice (the random
+        salt breaks ties), so both structures select the same growth.
+        """
+        if self._use_heap:
+            heap = self._heap
+            while heap:
+                entry = heap[0]
+                if self._best.get(entry.cid) is entry.growth:
+                    return entry.cid, entry.growth
+                heapq.heappop(heap)
+            return None
         best_cid: int | None = None
         best_growth: Growth | None = None
         for cid, growth in self._best.items():
@@ -221,29 +507,59 @@ class SixGen:
 
     def _apply_growth(self, cid: int, growth: Growth) -> None:
         """Replace the cluster, drop encapsulated clusters, refresh caches."""
+        old_range = self._clusters[cid].range
         self._clusters[cid] = Cluster(growth.new_range, growth.new_seed_count)
         # Encapsulated singleton clusters are exactly the singletons
         # whose founding seed lies in the grown range — found via the
         # seed trie instead of an is_subset scan over every cluster.
         # (The grown cluster itself also leaves the singleton map here.)
         doomed: list[int] = []
-        for seed in self.tree.iter_in_range(growth.new_range):
-            oid = self._singleton_by_seed.pop(seed, None)
-            if oid is not None and oid != cid:
-                doomed.append(oid)
-        # Grown clusters are few; check them directly.
-        for oid, other in self._clusters.items():
-            if oid != cid and not other.range.is_singleton():
-                if other.range.is_subset(growth.new_range):
+        if self.vectorised:
+            # The freshly widened distance vector knows which seeds the
+            # grown range absorbed (distance zero) — no trie walk needed.
+            self._widen_distance_cache(cid, old_range, growth.new_range)
+            seeds = self.matrix.seeds
+            for row in np.nonzero(self._dist[cid] == 0)[0].tolist():
+                oid = self._singleton_by_seed.pop(seeds[row], None)
+                if oid is not None and oid != cid:
                     doomed.append(oid)
+            # Each grown cluster's masks are packed into one 512-bit
+            # signature (32 disjoint 16-bit fields), so the per-position
+            # subset test collapses to a single ``sig & ~new_sig == 0``.
+            new_sig = 0
+            for mask in growth.new_range.masks:
+                new_sig = (new_sig << 16) | mask
+            for oid, sig in self._grown_sigs.items():
+                if oid != cid and not sig & ~new_sig:
+                    doomed.append(oid)
+            self._grown_sigs[cid] = new_sig
+        else:
+            for seed in self.tree.iter_in_range(growth.new_range):
+                oid = self._singleton_by_seed.pop(seed, None)
+                if oid is not None and oid != cid:
+                    doomed.append(oid)
+            # Grown clusters are few; check them directly.
+            for oid, other in self._clusters.items():
+                if oid != cid and not other.range.is_singleton():
+                    if other.range.is_subset(growth.new_range):
+                        doomed.append(oid)
         for oid in doomed:
             del self._clusters[oid]
             del self._best[oid]
-        if self.config.use_growth_cache:
-            self._best[cid] = self._evaluate(self._clusters[cid])
+            self._dist.pop(oid, None)
+            self._grown_sigs.pop(oid, None)
+        if self.vectorised:
+            # (the distance cache was already widened above)
+            if self.config.use_growth_cache:
+                self._set_best(cid, self._evaluate_vector(cid))
+            else:
+                for oid in self._clusters:
+                    self._set_best(oid, self._evaluate_vector(oid))
+        elif self.config.use_growth_cache:
+            self._set_best(cid, self._evaluate(self._clusters[cid]))
         else:
             for oid, cluster in self._clusters.items():
-                self._best[oid] = self._evaluate(cluster)
+                self._set_best(oid, self._evaluate(cluster))
 
     # -- driver --------------------------------------------------------------
     def run(self) -> SixGenResult:
@@ -293,6 +609,7 @@ def run_6gen(
     ledger: str = "exact",
     use_seed_matrix: bool = True,
     use_growth_cache: bool = True,
+    use_vector_kernel: bool = True,
     rng_seed: int | None = 0,
 ) -> SixGenResult:
     """Convenience wrapper: run 6Gen on a seed set with a probe budget.
@@ -307,6 +624,7 @@ def run_6gen(
         ledger=ledger,
         use_seed_matrix=use_seed_matrix,
         use_growth_cache=use_growth_cache,
+        use_vector_kernel=use_vector_kernel,
         rng_seed=rng_seed,
     )
     return SixGen([int(s) for s in seeds], config).run()

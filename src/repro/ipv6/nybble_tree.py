@@ -15,7 +15,7 @@ The tree supports the two operations 6Gen needs:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from .nybble import FULL_MASK, NYBBLE_COUNT, mask_contains
 from .range_ import NybbleRange
@@ -123,6 +123,47 @@ class NybbleTree:
             return total
 
         return visit(self._root, 0)
+
+    def count_in_ranges(self, ranges: Sequence[NybbleRange]) -> list[int]:
+        """Count stored addresses within each of several ranges at once.
+
+        Equivalent to ``[self.count_in_range(r) for r in ranges]`` but
+        traverses the tree once, carrying the set of ranges still
+        "active" on the current path — 6Gen's candidate spans of one
+        cluster share long fixed prefixes, so the upper levels of the
+        walk are shared instead of repeated per range.
+        """
+        counts = [0] * len(ranges)
+        if not ranges:
+            return counts
+        masks_list = [r.masks for r in ranges]
+        suffix_full: list[list[bool]] = []
+        for masks in masks_list:
+            full = [True] * (NYBBLE_COUNT + 1)
+            for i in range(NYBBLE_COUNT - 1, -1, -1):
+                full[i] = full[i + 1] and masks[i] == FULL_MASK
+            suffix_full.append(full)
+
+        def visit(node: _Node, depth: int, active: list[int]) -> None:
+            live: list[int] = []
+            for idx in active:
+                if suffix_full[idx][depth]:
+                    counts[idx] += node.count
+                else:
+                    live.append(idx)
+            if not live:
+                return
+            for nybble, child in node.children.items():
+                sub = [
+                    idx
+                    for idx in live
+                    if mask_contains(masks_list[idx][depth], nybble)
+                ]
+                if sub:
+                    visit(child, depth + 1, sub)
+
+        visit(self._root, 0, list(range(len(ranges))))
+        return counts
 
     def iter_in_range(self, range_: NybbleRange) -> Iterator[int]:
         """Iterate stored addresses within the range, ascending."""

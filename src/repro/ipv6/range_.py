@@ -141,6 +141,20 @@ class NybbleRange:
 
     # -- constructors ---------------------------------------------------
     @classmethod
+    def _make(cls, masks: tuple[int, ...], size: int) -> "NybbleRange":
+        """Trusted constructor: masks known valid, size precomputed.
+
+        Used by the vectorised 6Gen kernel, which builds span masks from
+        an existing (validated) range and tracks the size incrementally;
+        skipping the 32-position validation loop matters when thousands
+        of candidate spans are built per run.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "_masks", masks)
+        object.__setattr__(self, "_size", size)
+        return self
+
+    @classmethod
     def from_address(cls, addr: int) -> "NybbleRange":
         """The singleton range covering exactly one address."""
         value = int(addr)
