@@ -1,0 +1,195 @@
+"""Scan-pipeline benchmark: batched streaming engine vs the reference.
+
+Builds one target pool from the standard per-prefix 6Gen run, then
+scans growing tiers of it with (a) the sequential per-address reference
+path and (b) the batched streaming path, verifying on every tier that
+the two produce identical hits *and* identical ``ScanStats`` — the
+parity contract the engine promises for a fixed ``rng_seed``.  A lossy
+tier exercises the order-independent loss PRF, and a multi-worker run
+checks that process sharding reproduces the reference hit set.
+Medians and speedups land in ``BENCH_scan.json`` (see DESIGN.md
+"Performance" for how to read it).
+
+Standalone script, not a pytest benchmark — CI runs it with ``--quick``
+and fails the build if the paths ever diverge:
+
+    python benchmarks/bench_scan.py [--quick] [--out BENCH_scan.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import experiments as ex  # noqa: E402
+from repro.analysis.grouping import run_per_prefix  # noqa: E402
+from repro.scanner.blacklist import Blacklist  # noqa: E402
+from repro.scanner.engine import ScanConfig, Scanner  # noqa: E402
+from repro.ipv6.prefix import Prefix  # noqa: E402
+
+FULL_TIERS = (10_000, 50_000, 200_000, 500_000)
+QUICK_TIERS = (10_000, 50_000)
+BUDGET = 20_000
+SCALE = 0.3
+RNG_SEED = 5
+
+
+def build_pool(limit: int) -> list[int]:
+    """Target pool from the standard 6Gen run (streamed, deterministic)."""
+    context = ex.standard_context(SCALE)
+    run = run_per_prefix(context.groups, BUDGET)
+    pool: list[int] = []
+    seen: set[int] = set()
+    for target in run.iter_targets():
+        if target not in seen:
+            seen.add(target)
+            pool.append(target)
+            if len(pool) >= limit:
+                break
+    return pool
+
+
+def make_blacklist(pool: list[int]) -> Blacklist:
+    """Blacklist a slice of target space so that path gets exercised."""
+    blacklist = Blacklist()
+    for target in pool[:: max(1, len(pool) // 50)]:
+        blacklist.add(Prefix(int(target), 128))
+    return blacklist
+
+
+def bench_tier(
+    truth, blacklist: Blacklist, pool: list[int], n: int,
+    repeats: int, loss_rate: float,
+) -> dict:
+    targets = pool[:n]
+    timings: dict[str, list[float]] = {"reference": [], "batched": []}
+    identical = True
+    configs = {
+        "reference": ScanConfig(use_batched=False),
+        "batched": ScanConfig(),
+    }
+    for _ in range(repeats):
+        results = {}
+        for name, config in configs.items():
+            scanner = Scanner(
+                truth, blacklist=blacklist, loss_rate=loss_rate,
+                rng_seed=RNG_SEED, config=config,
+            )
+            start = time.perf_counter()
+            results[name] = scanner.scan(targets)
+            timings[name].append(time.perf_counter() - start)
+        if (
+            results["batched"].hits != results["reference"].hits
+            or results["batched"].stats != results["reference"].stats
+        ):
+            identical = False
+    baseline = statistics.median(timings["reference"])
+    batched = statistics.median(timings["batched"])
+    return {
+        "targets": n,
+        "loss_rate": loss_rate,
+        "baseline_median_s": round(baseline, 4),
+        "batched_median_s": round(batched, 4),
+        "speedup": round(baseline / batched, 2) if batched else None,
+        "identical": identical,
+    }
+
+
+def check_workers(truth, blacklist: Blacklist, pool: list[int]) -> dict:
+    """Multi-worker scan must reproduce the reference hit set and stats."""
+    targets = pool[: min(len(pool), 100_000)]
+    reference = Scanner(
+        truth, blacklist=blacklist, loss_rate=0.1, rng_seed=RNG_SEED,
+        config=ScanConfig(use_batched=False),
+    ).scan(targets)
+    start = time.perf_counter()
+    pooled = Scanner(
+        truth, blacklist=blacklist, loss_rate=0.1, rng_seed=RNG_SEED,
+        config=ScanConfig(workers=2),
+    ).scan(targets)
+    elapsed = time.perf_counter() - start
+    return {
+        "targets": len(targets),
+        "workers": 2,
+        "pool_s": round(elapsed, 4),
+        "identical": pooled.hits == reference.hits
+        and pooled.stats == reference.stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small tiers / fewer repeats (CI divergence gate)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_scan.json",
+        help="output JSON path (default: repo-root BENCH_scan.json)",
+    )
+    args = parser.parse_args(argv)
+    if not args.out.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.out.parent}")
+
+    tiers = QUICK_TIERS if args.quick else FULL_TIERS
+    repeats = 2 if args.quick else 3
+    pool = build_pool(max(tiers))
+    tiers = tuple(n for n in tiers if n <= len(pool)) or (len(pool),)
+    blacklist = make_blacklist(pool)
+    truth = ex.standard_context(SCALE).internet.truth
+
+    rows = []
+    for n in tiers:
+        row = bench_tier(truth, blacklist, pool, n, repeats, 0.0)
+        rows.append(row)
+        print(
+            f"targets={row['targets']:>7}  baseline={row['baseline_median_s']:.3f}s  "
+            f"batched={row['batched_median_s']:.3f}s  speedup={row['speedup']}x  "
+            f"identical={row['identical']}"
+        )
+    # One lossy tier: the loss PRF must stay order-independent.
+    lossy = bench_tier(truth, blacklist, pool, tiers[0], repeats, 0.2)
+    rows.append(lossy)
+    print(
+        f"targets={lossy['targets']:>7}  loss=0.2  "
+        f"baseline={lossy['baseline_median_s']:.3f}s  "
+        f"batched={lossy['batched_median_s']:.3f}s  "
+        f"identical={lossy['identical']}"
+    )
+    workers = check_workers(truth, blacklist, pool)
+    print(
+        f"workers={workers['workers']}  targets={workers['targets']}  "
+        f"pool={workers['pool_s']:.3f}s  identical={workers['identical']}"
+    )
+
+    payload = {
+        "benchmark": "scan_batched_pipeline",
+        "scale": SCALE,
+        "budget": BUDGET,
+        "rng_seed": RNG_SEED,
+        "repeats": repeats,
+        "quick": args.quick,
+        "tiers": rows,
+        "workers_check": workers,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if not all(row["identical"] for row in rows) or not workers["identical"]:
+        print("DIVERGENCE: batched scan output differs from reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

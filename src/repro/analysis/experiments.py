@@ -23,7 +23,7 @@ from ..core.sixgen import run_6gen
 from ..datasets.cdn import all_cdns
 from ..ipv6.prefix import Prefix
 from ..scanner.dealias import DealiasReport, dealias
-from ..scanner.engine import Scanner
+from ..scanner.engine import ScanConfig, Scanner
 from ..simnet.bgp import group_by_routed_prefix
 from ..simnet.dns import SeedCollection, collect_seeds
 from ..simnet.ground_truth import SimInternet, default_internet
@@ -118,18 +118,28 @@ def run_full_scan(
     seed_addrs: Sequence[int] | None = None,
     dealias_hits: bool = True,
     port: int = 80,
+    scan_config: ScanConfig | None = None,
 ) -> ScanOutcome:
-    """Run 6Gen per routed prefix, scan one port, and dealias the hits."""
+    """Run 6Gen per routed prefix, scan one port, and dealias the hits.
+
+    Targets stream straight from each prefix run into the scanner —
+    the union set is never materialised.  ``scan_config`` selects the
+    scan execution strategy (batch size, worker processes); the result
+    is identical for every config, so callers tune it freely.
+    """
     if seed_addrs is None:
         groups = context.groups
     else:
         groups = group_by_routed_prefix(seed_addrs, context.internet.bgp)
     run = run_per_prefix(groups, budget, loose=loose)
-    scanner = Scanner(context.internet.truth)
-    targets = run.all_targets()
-    scan = scanner.scan(targets, port=port)
+    config = scan_config or ScanConfig()
+    scanner = Scanner(context.internet.truth, config=config)
+    scan = scanner.scan(run.iter_targets(), port=port)
     if dealias_hits:
-        report = dealias(scan.hits, scanner, context.internet.bgp, port=port)
+        report = dealias(
+            scan.hits, scanner, context.internet.bgp, port=port,
+            workers=config.workers,
+        )
     else:
         report = DealiasReport(clean_hits=set(scan.hits))
     return ScanOutcome(
@@ -138,7 +148,9 @@ def run_full_scan(
         run=run,
         raw_hits=scan.hits,
         report=report,
-        targets_generated=len(targets),
+        # Deduplicated target count, recovered from the scan counters
+        # (every distinct target is either probed or blacklisted).
+        targets_generated=scan.stats.probes_sent + scan.stats.blacklisted,
         probes_sent=scan.stats.probes_sent,
     )
 

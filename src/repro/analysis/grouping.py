@@ -11,7 +11,7 @@ allocation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from ..core.sixgen import SixGenResult, run_6gen
 from ..ipv6.prefix import Prefix
@@ -45,6 +45,10 @@ class PrefixRun:
     budget: int
     result: SixGenResult
 
+    def iter_targets(self) -> Iterator[int]:
+        """Stream this prefix's generated targets (distinct, unordered)."""
+        return self.result.iter_targets()
+
 
 @dataclass
 class MultiPrefixRun:
@@ -61,6 +65,18 @@ class MultiPrefixRun:
         for run in self.runs.values():
             targets |= run.result.target_set()
         return targets
+
+    def iter_targets(self) -> Iterator[int]:
+        """Stream targets prefix by prefix (sorted) without materialising
+        the union.
+
+        Distinct routed prefixes can overlap (more- and less-specific
+        routes), so an address may appear more than once; consumers
+        that need uniqueness dedupe downstream — :meth:`Scanner.scan`
+        already does.
+        """
+        for prefix in sorted(self.runs):
+            yield from self.runs[prefix].iter_targets()
 
     def new_targets(self) -> set[int]:
         """Generated targets excluding every prefix's own seeds."""

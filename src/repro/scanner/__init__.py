@@ -12,16 +12,18 @@ from .dealias import (
     split_hits,
     summarize_aliased_prefixes,
 )
-from .engine import Scanner
-from .schedule import batched, interleave_by_network, max_burst
+from .engine import ScanConfig, Scanner
+from .schedule import CyclicPermutation, batched, interleave_by_network, max_burst
 from .probe import DEFAULT_PORT, Probe, ScanResult, ScanStats
 
 __all__ = [
     "Blacklist",
+    "CyclicPermutation",
     "DEFAULT_PORT",
     "AliasedSummary",
     "DealiasReport",
     "Probe",
+    "ScanConfig",
     "ScanResult",
     "ScanStats",
     "Scanner",

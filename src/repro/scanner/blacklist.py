@@ -9,7 +9,7 @@ tests inject blacklist entries to verify nothing leaks through.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from ..ipv6.prefix import Prefix, network_mask
 
@@ -43,6 +43,27 @@ class Blacklist:
             if value & network_mask(length) in self._by_length[length]:
                 return True
         return False
+
+    def contains_many(self, addrs: Sequence[int]) -> list[bool]:
+        """Batched :meth:`contains` for the chunked scan path.
+
+        One pass per prefix length over the still-unmatched addresses,
+        instead of one method call (and mask rebuild) per address.
+        """
+        if not self._count:
+            return [False] * len(addrs)
+        lengths = iter(self._lengths)
+        first = next(lengths)
+        mask = network_mask(first)
+        bucket = self._by_length[first]
+        flags = [int(a) & mask in bucket for a in addrs]
+        for length in lengths:
+            mask = network_mask(length)
+            bucket = self._by_length[length]
+            for i, flagged in enumerate(flags):
+                if not flagged and int(addrs[i]) & mask in bucket:
+                    flags[i] = True
+        return flags
 
     def __contains__(self, addr) -> bool:
         return self.contains(int(addr))

@@ -12,6 +12,14 @@ manually inspected the top-10 ASes of the remaining hits and found two
 (Cloudflare, Mittwald) aliased at /112.  :func:`as_level_inspection`
 automates that step: it re-runs the random-probe test at /112 inside
 the top ASes and excludes ASes where most hit-/112s test aliased.
+
+Per-prefix tests are independent, so the detection stage shards across
+a process pool when asked (``workers`` > 1).  Each prefix draws its
+sample addresses from an RNG derived from ``(rng_seed, prefix)`` —
+never from a stream shared across prefixes — which makes every
+prefix's verdict independent of test order and worker placement: the
+parallel path reproduces the serial decisions exactly (for a scanner
+built with a fixed ``rng_seed``).
 """
 
 from __future__ import annotations
@@ -19,12 +27,15 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..ipv6.prefix import Prefix
 from ..simnet.bgp import BgpTable
 from .engine import Scanner
 from .probe import DEFAULT_PORT
+from .schedule import mix64
+
+_M64 = (1 << 64) - 1
 
 
 def group_hits_by_prefix(hits: Iterable[int], length: int = 96) -> dict[Prefix, list[int]]:
@@ -46,15 +57,110 @@ def is_prefix_aliased(
 ) -> bool:
     """The paper's random-probe aliasing test for one prefix.
 
-    Draws ``sample_addrs`` random addresses in the prefix and sends
-    ``probes_per_addr`` probes to each; the prefix is aliased iff every
-    sampled address answers at least once.
+    Draws ``sample_addrs`` random addresses in the prefix and sends up
+    to ``probes_per_addr`` probes to each; the prefix is aliased iff
+    every sampled address answers at least once.  All samples go
+    through one batched :meth:`Scanner.probe_many` call, so blacklist,
+    loss, and ground-truth lookups are chunked rather than per-probe.
     """
-    for _ in range(sample_addrs):
-        addr = prefix.random_address(rng).value
-        if not any(scanner.probe(addr, port) for _ in range(probes_per_addr)):
-            return False
-    return True
+    addrs = [prefix.random_address(rng).value for _ in range(sample_addrs)]
+    return all(scanner.probe_many(addrs, port, attempts=probes_per_addr))
+
+
+def _base_key(rng_seed: int | None) -> int:
+    """One 64-bit key per pipeline run, derived the same way everywhere."""
+    return random.Random(rng_seed).getrandbits(64)
+
+
+def _derived_seed(base_key: int, prefix: Prefix) -> int:
+    """Deterministic per-prefix RNG seed: a pure function of the prefix."""
+    h = mix64(base_key ^ (prefix.network & _M64))
+    h = mix64(h ^ (prefix.network >> 64) ^ prefix.length)
+    return h
+
+
+def _run_alias_tests(
+    pairs: Sequence[tuple[Prefix, int]],
+    scanner: Scanner,
+    *,
+    sample_addrs: int,
+    probes_per_addr: int,
+    port: int,
+    workers: int,
+) -> list[bool]:
+    """Run the random-probe test for each (prefix, rng seed) pair.
+
+    With ``workers`` > 1 the pairs are sharded across a process pool;
+    each worker rebuilds a scanner from the parent's construction
+    parameters, so loss outcomes (a pure function of the scanner's
+    ``rng_seed`` and the probed address) match the serial path, and the
+    parent's probe counter is advanced by the workers' probe totals.
+    """
+    if workers <= 1 or len(pairs) <= 1:
+        return [
+            is_prefix_aliased(
+                prefix,
+                scanner,
+                random.Random(seed),
+                sample_addrs=sample_addrs,
+                probes_per_addr=probes_per_addr,
+                port=port,
+            )
+            for prefix, seed in pairs
+        ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    chunk_size = max(1, (len(pairs) + workers * 4 - 1) // (workers * 4))
+    chunks = [
+        list(pairs[start : start + chunk_size])
+        for start in range(0, len(pairs), chunk_size)
+    ]
+    params = (sample_addrs, probes_per_addr, port)
+    flags: list[bool] = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_dealias_pool_init,
+        initargs=(
+            scanner.truth,
+            scanner.blacklist,
+            scanner.loss_rate,
+            scanner._rng_seed,
+        ),
+    ) as pool:
+        for chunk_flags, probes in pool.map(
+            _dealias_check_chunk, ((chunk, params) for chunk in chunks)
+        ):
+            flags.extend(chunk_flags)
+            scanner.total_probes += probes
+    return flags
+
+
+#: Per-process scanner for dealias-pool workers (set by the initializer).
+_DEALIAS_STATE: dict = {}
+
+
+def _dealias_pool_init(truth, blacklist, loss_rate, rng_seed) -> None:
+    _DEALIAS_STATE["scanner"] = Scanner(
+        truth, blacklist=blacklist, loss_rate=loss_rate, rng_seed=rng_seed
+    )
+
+
+def _dealias_check_chunk(args) -> tuple[list[bool], int]:
+    pairs, (sample_addrs, probes_per_addr, port) = args
+    scanner: Scanner = _DEALIAS_STATE["scanner"]
+    before = scanner.total_probes
+    flags = [
+        is_prefix_aliased(
+            prefix,
+            scanner,
+            random.Random(seed),
+            sample_addrs=sample_addrs,
+            probes_per_addr=probes_per_addr,
+            port=port,
+        )
+        for prefix, seed in pairs
+    ]
+    return flags, scanner.total_probes - before
 
 
 def detect_aliased_prefixes(
@@ -66,21 +172,26 @@ def detect_aliased_prefixes(
     probes_per_addr: int = 3,
     port: int = DEFAULT_PORT,
     rng_seed: int | None = 0,
+    workers: int = 1,
 ) -> set[Prefix]:
-    """All hit-containing /length prefixes that test as aliased."""
-    rng = random.Random(rng_seed)
-    aliased: set[Prefix] = set()
-    for prefix in group_hits_by_prefix(hits, length):
-        if is_prefix_aliased(
-            prefix,
-            scanner,
-            rng,
-            sample_addrs=sample_addrs,
-            probes_per_addr=probes_per_addr,
-            port=port,
-        ):
-            aliased.add(prefix)
-    return aliased
+    """All hit-containing /length prefixes that test as aliased.
+
+    Prefixes are tested in sorted order with per-prefix derived RNGs,
+    so the result is a pure function of ``(hits, rng_seed)`` and the
+    scanner — identical for any ``workers`` value.
+    """
+    base = _base_key(rng_seed)
+    prefixes = sorted(group_hits_by_prefix(hits, length))
+    pairs = [(prefix, _derived_seed(base, prefix)) for prefix in prefixes]
+    flags = _run_alias_tests(
+        pairs,
+        scanner,
+        sample_addrs=sample_addrs,
+        probes_per_addr=probes_per_addr,
+        port=port,
+        workers=workers,
+    )
+    return {prefix for prefix, flagged in zip(prefixes, flags) if flagged}
 
 
 def split_hits(
@@ -112,37 +223,47 @@ def as_level_inspection(
     aliased_fraction: float = 0.5,
     port: int = DEFAULT_PORT,
     rng_seed: int | None = 1,
+    workers: int = 1,
 ) -> set[int]:
     """Find ASes aliased at a finer granularity than /96 (§6.2's manual step).
 
     For each of the ``top_k`` ASes by remaining hits, tests every
     hit-containing /length prefix with the random-probe method; an AS
     is flagged when more than ``aliased_fraction`` of its tested
-    prefixes are aliased.
+    prefixes are aliased.  All per-prefix tests across the inspected
+    ASes form one flat work list, sharded over ``workers`` processes.
     """
-    rng = random.Random(rng_seed)
+    base = _base_key(rng_seed)
     by_asn: dict[int, list[int]] = defaultdict(list)
     for addr in clean_hits:
         asn = bgp.origin_asn(int(addr))
         if asn is not None:
             by_asn[asn].append(int(addr))
-    flagged: set[int] = set()
     top_ases = sorted(by_asn, key=lambda a: -len(by_asn[a]))[:top_k]
+    tests: list[tuple[int, Prefix, int]] = []
     for asn in top_ases:
-        prefixes = group_hits_by_prefix(by_asn[asn], length)
-        if not prefixes:
-            continue
-        # Weight by hits, not by prefix count: an AS whose hits
-        # overwhelmingly sit inside aliased sub-prefixes is flagged even
-        # if it also has a few genuine host prefixes.
-        aliased_hits = sum(
-            len(addrs)
-            for prefix, addrs in prefixes.items()
-            if is_prefix_aliased(prefix, scanner, rng, port=port)
-        )
-        if aliased_hits / len(by_asn[asn]) > aliased_fraction:
-            flagged.add(asn)
-    return flagged
+        for prefix, addrs in sorted(group_hits_by_prefix(by_asn[asn], length).items()):
+            tests.append((asn, prefix, len(addrs)))
+    flags = _run_alias_tests(
+        [(prefix, _derived_seed(base, prefix)) for _, prefix, _ in tests],
+        scanner,
+        sample_addrs=3,
+        probes_per_addr=3,
+        port=port,
+        workers=workers,
+    )
+    # Weight by hits, not by prefix count: an AS whose hits
+    # overwhelmingly sit inside aliased sub-prefixes is flagged even
+    # if it also has a few genuine host prefixes.
+    aliased_by_asn: dict[int, int] = defaultdict(int)
+    for (asn, _, addr_count), flagged_prefix in zip(tests, flags):
+        if flagged_prefix:
+            aliased_by_asn[asn] += addr_count
+    return {
+        asn
+        for asn in top_ases
+        if by_asn[asn] and aliased_by_asn[asn] / len(by_asn[asn]) > aliased_fraction
+    }
 
 
 @dataclass
@@ -200,17 +321,24 @@ def dealias(
     as_inspection: bool = True,
     port: int = DEFAULT_PORT,
     rng_seed: int | None = 0,
+    workers: int = 1,
 ) -> DealiasReport:
-    """Run the full dealiasing pipeline: /96 detection + AS inspection."""
+    """Run the full dealiasing pipeline: /96 detection + AS inspection.
+
+    ``workers`` > 1 shards the independent per-prefix alias tests over
+    a process pool; the report is identical for any worker count.
+    """
     hit_set = {int(h) for h in hits}
     aliased_prefixes = detect_aliased_prefixes(
-        hit_set, scanner, length=length, port=port, rng_seed=rng_seed
+        hit_set, scanner, length=length, port=port, rng_seed=rng_seed,
+        workers=workers,
     )
     aliased_hits, clean_hits = split_hits(hit_set, aliased_prefixes)
     aliased_asns: set[int] = set()
     if as_inspection and bgp is not None and clean_hits:
         aliased_asns = as_level_inspection(
-            clean_hits, bgp, scanner, port=port, rng_seed=rng_seed
+            clean_hits, bgp, scanner, port=port, rng_seed=rng_seed,
+            workers=workers,
         )
         if aliased_asns:
             moved = {

@@ -10,16 +10,75 @@ algorithms under test:
 * a blacklist is honoured unconditionally;
 * optional probe loss models an unreliable network path, and repeated
   probes can recover from it (used for failure-injection tests).
+
+The bulk path is a streaming, batched pipeline.  Targets stream in
+(deduplicated in insertion order), probe order is a ZMap-style cyclic
+permutation of the index space (:class:`~repro.scanner.schedule.
+CyclicPermutation` — O(1) auxiliary memory, no shuffled copy), and
+chunks flow through batched blacklist / loss / ground-truth lookups,
+optionally sharded across a process pool (:attr:`ScanConfig.workers`).
+A per-address sequential reference path (``use_batched=False``) is
+kept as the correctness oracle: for a fixed ``rng_seed`` both paths —
+and any worker count — produce identical hits *and* identical
+:class:`~repro.scanner.probe.ScanStats`, because probe order is the
+shared permutation and scan-time probe loss is a pure function of
+``(scan key, address)`` rather than a draw from a sequential RNG
+stream.  ``benchmarks/bench_scan.py`` enforces the parity on every
+run.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 from ..simnet.ground_truth import GroundTruth
 from .blacklist import Blacklist
 from .probe import DEFAULT_PORT, ScanResult, ScanStats
+from .schedule import CyclicPermutation, mix64
+
+_M64 = (1 << 64) - 1
+#: Domain-separation constants for the keys derived from ``rng_seed``.
+_ORDER_SALT = 0x5C4E06D3A1B2C4D5
+_PROBE_SALT = 0x9E3779B97F4A7C15
+
+
+def _loss_prf(key: int, addr: int) -> float:
+    """Uniform-in-[0,1) pseudo-random function of ``(key, address)``.
+
+    Scan-time probe loss uses this instead of a sequential RNG stream
+    so outcomes do not depend on probe order or worker sharding — the
+    property that makes the batched, multi-process paths bit-identical
+    to the sequential reference.
+    """
+    h = mix64(key ^ (addr & _M64))
+    h = mix64(h ^ (addr >> 64))
+    return h / 18446744073709551616.0  # 2**64
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Execution parameters for :meth:`Scanner.scan`.
+
+    ``batch_size`` is the chunk granularity of the streaming pipeline;
+    ``workers`` > 1 shards chunks across a process pool (1 keeps the
+    scan in-process); ``use_batched=False`` selects the per-address
+    sequential reference path (the correctness oracle the benchmark
+    compares against).  All settings produce identical results for a
+    fixed ``rng_seed`` — they only trade memory and speed.
+    """
+
+    batch_size: int = 4096
+    workers: int = 1
+    use_batched: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive: {self.batch_size}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
 
 
 class Scanner:
@@ -32,13 +91,28 @@ class Scanner:
         blacklist: Blacklist | None = None,
         loss_rate: float = 0.0,
         rng_seed: int | None = 0,
+        config: ScanConfig | None = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
         self.truth = truth
         self.blacklist = blacklist or Blacklist()
         self.loss_rate = loss_rate
+        self.config = config or ScanConfig()
         self._rng = random.Random(rng_seed)
+        self._rng_seed = rng_seed
+        # Independent deterministic streams so single-probe callers
+        # (probe / probe_retry) and bulk scans never perturb each other:
+        # scan order/loss keys come from _order_rng, the batched-prober
+        # loss PRF from _probe_key.  A worker process rebuilt from the
+        # same rng_seed derives the same keys, which is what makes
+        # parallel dealiasing reproduce the serial decisions.
+        if rng_seed is None:
+            self._order_rng = random.Random()
+            self._probe_key = random.Random().getrandbits(64)
+        else:
+            self._order_rng = random.Random(int(rng_seed) ^ _ORDER_SALT)
+            self._probe_key = mix64(int(rng_seed) ^ _PROBE_SALT)
         self.total_probes = 0
 
     # -- single probe -------------------------------------------------------
@@ -55,9 +129,81 @@ class Scanner:
             return False
         return self.truth.is_responsive(int(addr), port)
 
-    def probe_retry(self, addr: int, port: int = DEFAULT_PORT, attempts: int = 3) -> bool:
-        """Probe with retries (used by the dealiasing prober)."""
+    def probe_retry(
+        self,
+        addr: int,
+        port: int = DEFAULT_PORT,
+        attempts: int = 3,
+        *,
+        stats: ScanStats | None = None,
+    ) -> bool:
+        """Probe with retries (used by the dealiasing prober).
+
+        Blacklisted targets short-circuit before the retry loop — the
+        blacklist verdict cannot change between attempts — and are
+        counted once in ``stats`` when given.
+        """
+        if self.blacklist.contains(addr):
+            if stats is not None:
+                stats.blacklisted += 1
+            return False
         return any(self.probe(addr, port) for _ in range(attempts))
+
+    def probe_many(
+        self,
+        addrs: Sequence[int],
+        port: int = DEFAULT_PORT,
+        *,
+        attempts: int = 1,
+        stats: ScanStats | None = None,
+    ) -> list[bool]:
+        """Batched probe-with-retries; one flag per address, in order.
+
+        The blacklist is consulted once per address (not once per
+        attempt), losses use the order-independent PRF keyed on
+        ``(rng_seed, address, attempt)``, and ground-truth lookups are
+        batched.  Addresses that respond stop retrying; the rest get up
+        to ``attempts`` rounds.
+        """
+        addrs = [int(a) for a in addrs]
+        results = [False] * len(addrs)
+        if self.blacklist:
+            flags = self.blacklist.contains_many(addrs)
+            pending = [i for i, flagged in enumerate(flags) if not flagged]
+            if stats is not None:
+                stats.blacklisted += len(addrs) - len(pending)
+        else:
+            pending = list(range(len(addrs)))
+        loss = self.loss_rate
+        for attempt in range(attempts):
+            if not pending:
+                break
+            batch = [addrs[i] for i in pending]
+            self.total_probes += len(batch)
+            if stats is not None:
+                stats.probes_sent += len(batch)
+            if loss:
+                attempt_key = mix64(self._probe_key + attempt)
+                kept = []
+                for i, a in zip(pending, batch):
+                    if _loss_prf(attempt_key, a) < loss:
+                        if stats is not None:
+                            stats.dropped += 1
+                    else:
+                        kept.append(i)
+            else:
+                kept = pending
+            if kept:
+                flags = self.truth.responsive_many(
+                    [addrs[i] for i in kept], port
+                )
+                for i, responded in zip(kept, flags):
+                    if responded:
+                        results[i] = True
+                        if stats is not None:
+                            stats.responses += 1
+            pending = [i for i in pending if not results[i]]
+        return results
 
     # -- bulk scan ------------------------------------------------------------
     def scan(
@@ -67,24 +213,185 @@ class Scanner:
         *,
         shuffle: bool = True,
     ) -> ScanResult:
-        """Probe each distinct target once; collect responsive addresses."""
-        target_list = list({int(t) for t in targets})
-        if shuffle:
-            self._rng.shuffle(target_list)
+        """Probe each distinct target once; collect responsive addresses.
+
+        Targets may be any iterable (a generator streams straight in);
+        they are deduplicated preserving first-seen order, which keeps
+        probe order — and therefore loss outcomes — deterministic for a
+        fixed ``rng_seed`` regardless of CPython build (a plain
+        ``set`` dedupe does not guarantee that).
+        """
+        config = self.config
+        ordered = list(dict.fromkeys(int(t) for t in targets))
+        if not shuffle:
+            ordered.sort()
+        # Both paths draw the same keys in the same order so reference
+        # and batched scans consume _order_rng identically.
+        perm_key = self._order_rng.getrandbits(64)
+        loss_key = self._order_rng.getrandbits(64)
+        perm = (
+            CyclicPermutation(len(ordered), perm_key)
+            if shuffle and len(ordered) > 1
+            else None
+        )
+        if config.use_batched:
+            result = self._scan_batched(ordered, perm, loss_key, port, config)
         else:
-            target_list.sort()
+            result = self._scan_reference(ordered, perm, loss_key, port)
+        self.total_probes += result.stats.probes_sent
+        return result
+
+    def _scan_reference(
+        self,
+        ordered: list[int],
+        perm: CyclicPermutation | None,
+        loss_key: int,
+        port: int,
+    ) -> ScanResult:
+        """Per-address loop: the readable spec the batched path must match."""
         stats = ScanStats()
         hits: set[int] = set()
-        for addr in target_list:
+        loss = self.loss_rate
+        for index in range(len(ordered)):
+            addr = ordered[perm(index)] if perm is not None else ordered[index]
             if self.blacklist.contains(addr):
                 stats.blacklisted += 1
                 continue
             stats.probes_sent += 1
-            self.total_probes += 1
-            if self.loss_rate and self._rng.random() < self.loss_rate:
+            if loss and _loss_prf(loss_key, addr) < loss:
                 stats.dropped += 1
                 continue
             if self.truth.is_responsive(addr, port):
                 stats.responses += 1
                 hits.add(addr)
         return ScanResult(port=port, hits=hits, stats=stats)
+
+    def _scan_batched(
+        self,
+        ordered: list[int],
+        perm: CyclicPermutation | None,
+        loss_key: int,
+        port: int,
+        config: ScanConfig,
+    ) -> ScanResult:
+        if config.workers > 1 and len(ordered) > config.batch_size:
+            return self._scan_pool(ordered, perm, loss_key, port, config)
+        stats = ScanStats()
+        hits: set[int] = set()
+        for batch in _iter_permuted_batches(ordered, perm, config.batch_size):
+            _probe_batch(
+                self.truth, self.blacklist, self.loss_rate, loss_key,
+                port, batch, stats, hits,
+            )
+        return ScanResult(port=port, hits=hits, stats=stats)
+
+    def _scan_pool(
+        self,
+        ordered: list[int],
+        perm: CyclicPermutation | None,
+        loss_key: int,
+        port: int,
+        config: ScanConfig,
+    ) -> ScanResult:
+        """Shard permuted chunks across a process pool and merge stats.
+
+        Every counter is an order-independent sum and the loss PRF is a
+        pure function of the address, so the merged result is identical
+        to the in-process batched (and reference) scan.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        stats = ScanStats()
+        hits: set[int] = set()
+        # Bound outstanding futures so huge target streams never
+        # materialise as one giant pending-chunk queue.
+        window = config.workers * 4
+        with ProcessPoolExecutor(
+            max_workers=config.workers,
+            initializer=_pool_init,
+            initargs=(self.truth, self.blacklist, self.loss_rate, loss_key, port),
+        ) as pool:
+            futures: deque = deque()
+            for batch in _iter_permuted_batches(ordered, perm, config.batch_size):
+                futures.append(pool.submit(_pool_scan_chunk, batch))
+                if len(futures) >= window:
+                    chunk_hits, chunk_stats = futures.popleft().result()
+                    hits.update(chunk_hits)
+                    stats.merge(chunk_stats)
+            while futures:
+                chunk_hits, chunk_stats = futures.popleft().result()
+                hits.update(chunk_hits)
+                stats.merge(chunk_stats)
+        return ScanResult(port=port, hits=hits, stats=stats)
+
+
+def _iter_permuted_batches(
+    ordered: list[int],
+    perm: CyclicPermutation | None,
+    batch_size: int,
+) -> Iterator[list[int]]:
+    """Yield the target list in permuted order, one chunk at a time."""
+    n = len(ordered)
+    if perm is None:
+        for start in range(0, n, batch_size):
+            yield ordered[start : start + batch_size]
+        return
+    for start in range(0, n, batch_size):
+        indices = perm.permute_range(start, min(start + batch_size, n))
+        yield [ordered[j] for j in indices]
+
+
+def _probe_batch(
+    truth: GroundTruth,
+    blacklist: Blacklist,
+    loss_rate: float,
+    loss_key: int,
+    port: int,
+    batch: list[int],
+    stats: ScanStats,
+    hits: set[int],
+) -> None:
+    """Probe one chunk with batched blacklist / loss / truth lookups."""
+    if blacklist:
+        flags = blacklist.contains_many(batch)
+        allowed = [a for a, flagged in zip(batch, flags) if not flagged]
+        stats.blacklisted += len(batch) - len(allowed)
+    else:
+        allowed = batch
+    stats.probes_sent += len(allowed)
+    if loss_rate:
+        kept = []
+        for a in allowed:
+            if _loss_prf(loss_key, a) < loss_rate:
+                stats.dropped += 1
+            else:
+                kept.append(a)
+    else:
+        kept = allowed
+    if kept:
+        flags = truth.responsive_many(kept, port)
+        responsive = [a for a, responded in zip(kept, flags) if responded]
+        stats.responses += len(responsive)
+        hits.update(responsive)
+
+
+#: Per-process state for scan-pool workers (set by the initializer).
+_POOL_STATE: dict = {}
+
+
+def _pool_init(
+    truth: GroundTruth,
+    blacklist: Blacklist,
+    loss_rate: float,
+    loss_key: int,
+    port: int,
+) -> None:
+    _POOL_STATE["args"] = (truth, blacklist, loss_rate, loss_key, port)
+
+
+def _pool_scan_chunk(batch: list[int]) -> tuple[list[int], ScanStats]:
+    truth, blacklist, loss_rate, loss_key, port = _POOL_STATE["args"]
+    stats = ScanStats()
+    hits: set[int] = set()
+    _probe_batch(truth, blacklist, loss_rate, loss_key, port, batch, stats, hits)
+    return list(hits), stats

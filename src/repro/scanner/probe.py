@@ -28,12 +28,24 @@ DEFAULT_PROBE_RATE_PPS = 100_000
 
 @dataclass
 class ScanStats:
-    """Counters for one scan: probes sent, responses, drops."""
+    """Counters for one scan: probes sent, responses, drops.
+
+    Every field is an order-independent sum, so per-chunk stats from
+    sharded scan workers merge into exactly the sequential totals.
+    """
 
     probes_sent: int = 0
     responses: int = 0
     blacklisted: int = 0
     dropped: int = 0
+
+    def merge(self, other: "ScanStats") -> "ScanStats":
+        """Fold another scan's counters into this one (returns self)."""
+        self.probes_sent += other.probes_sent
+        self.responses += other.responses
+        self.blacklisted += other.blacklisted
+        self.dropped += other.dropped
+        return self
 
     @property
     def hit_rate(self) -> float:

@@ -4,7 +4,9 @@ The paper randomises destination order and runs scans serially "to
 avoid overloading networks" (§6).  Uniform shuffling achieves that in
 expectation; this module also provides a deterministic round-robin
 interleave that bounds the *burst* any single routed prefix receives —
-the property an operations team actually wants to promise.
+the property an operations team actually wants to promise — and the
+ZMap-style :class:`CyclicPermutation` the scan engine uses to visit a
+target list in pseudo-random order with O(1) auxiliary memory.
 """
 
 from __future__ import annotations
@@ -13,8 +15,100 @@ import random
 from collections import defaultdict
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from ..ipv6.prefix import Prefix
 from ..simnet.bgp import BgpTable
+
+_M64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finaliser: a cheap, well-mixed 64-bit hash."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def _mix64_np(x: "np.ndarray") -> "np.ndarray":
+    """Vectorised :func:`mix64` over a uint64 array (wrapping arithmetic)."""
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+class CyclicPermutation:
+    """A keyed bijection over ``[0, n)`` — ZMap's trick for IPv6 lists.
+
+    ZMap scans the IPv4 space in the order of a cyclic group generator
+    so the whole permutation costs O(1) state.  The target lists here
+    are arbitrary, so we permute their *index space* instead: a 4-round
+    Feistel network over the smallest even-bit domain covering ``n``,
+    with cycle-walking for out-of-range images.  Walking indices
+    ``0..n-1`` through the permutation visits every target exactly once
+    in a key-dependent pseudo-random order, with no shuffled copy of
+    the list and no index array.
+
+    The scalar :meth:`__call__` is the specification; the vectorised
+    :meth:`permute_range` computes the same mapping batch-wise (used by
+    the batched scan path) and is verified equal in the tests.
+    """
+
+    __slots__ = ("n", "_half_bits", "_half_mask", "_keys")
+
+    def __init__(self, n: int, key: int, rounds: int = 4):
+        if n < 0:
+            raise ValueError(f"permutation size must be non-negative: {n}")
+        self.n = n
+        bits = max(2, (n - 1).bit_length()) if n > 1 else 2
+        half = (bits + 1) // 2
+        self._half_bits = half
+        self._half_mask = (1 << half) - 1
+        self._keys = tuple(mix64(key + r * _GOLDEN) for r in range(rounds))
+
+    def _encrypt(self, x: int) -> int:
+        half, mask = self._half_bits, self._half_mask
+        left, right = x >> half, x & mask
+        for k in self._keys:
+            left, right = right, left ^ (mix64(right ^ k) & mask)
+        return (left << half) | right
+
+    def __call__(self, index: int) -> int:
+        """Image of ``index`` under the permutation (both in ``[0, n)``)."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        image = self._encrypt(index)
+        while image >= self.n:
+            # Cycle-walk: the domain is < 4n, so this terminates fast,
+            # and re-encrypting stays within the index's own cycle —
+            # the first in-range image is unique to it (bijectivity).
+            image = self._encrypt(image)
+        return image
+
+    def permute_range(self, start: int, stop: int) -> list[int]:
+        """Images of ``start..stop-1``, computed with vectorised rounds."""
+        if not 0 <= start <= stop <= self.n:
+            raise IndexError(f"range [{start}, {stop}) outside [0, {self.n})")
+        if start == stop:
+            return []
+        half = np.uint64(self._half_bits)
+        mask = np.uint64(self._half_mask)
+        keys = [np.uint64(k) for k in self._keys]
+
+        def encrypt(x: "np.ndarray") -> "np.ndarray":
+            left, right = x >> half, x & mask
+            for k in keys:
+                left, right = right, left ^ (_mix64_np(right ^ k) & mask)
+            return (left << half) | right
+
+        images = encrypt(np.arange(start, stop, dtype=np.uint64))
+        walking = images >= self.n
+        while walking.any():
+            images[walking] = encrypt(images[walking])
+            walking = images >= self.n
+        return images.tolist()
 
 
 def interleave_by_network(

@@ -33,14 +33,32 @@ class AliasedRegion:
         return f"AliasedRegion({self.prefix}, ports={ports})"
 
 
+#: Entries kept in the per-/64 decision cache before it is reset.
+_CACHE_LIMIT = 1 << 16
+
+
 @dataclass
 class AliasedRegionSet:
-    """Indexed collection of aliased regions for fast membership tests."""
+    """Indexed collection of aliased regions for fast membership tests.
+
+    Lengths are checked shortest-first, so :meth:`find` returns the
+    *shortest* containing region when regions nest (e.g. an aliased /56
+    carved around an aliased /96).  The batched lookups
+    (:meth:`find_many` / :meth:`responds_many`) additionally cache the
+    ≤/64 part of each decision per /64 block: target streams from 6Gen
+    are locality-heavy (cluster ranges vary low nybbles), so successive
+    addresses usually share a /64 and skip the per-length walk.
+    """
 
     _by_length: dict[int, dict[int, AliasedRegion]] = field(
         default_factory=lambda: defaultdict(dict)
     )
     _lengths: list[int] = field(default_factory=list)
+    #: /64 network -> tuple of containing regions with length <= 64
+    #: (shortest first); invalidated on every mutation.
+    _short_cache: dict[int, tuple[AliasedRegion, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add(self, region: AliasedRegion) -> None:
         bucket = self._by_length[region.prefix.length]
@@ -50,6 +68,7 @@ class AliasedRegionSet:
         if region.prefix.length not in self._lengths:
             self._lengths.append(region.prefix.length)
             self._lengths.sort()
+        self._short_cache.clear()
 
     def add_prefix(self, prefix: Prefix, ports: Iterable[int] = (80,)) -> AliasedRegion:
         region = AliasedRegion(prefix, frozenset(ports))
@@ -74,6 +93,70 @@ class AliasedRegionSet:
             if region is not None and port in region.ports:
                 return True
         return False
+
+    # -- batched lookups ----------------------------------------------------
+    def _short_regions(self, value: int) -> tuple[AliasedRegion, ...]:
+        """All ≤/64 regions containing ``value``, cached per /64 block."""
+        key = value >> 64
+        cached = self._short_cache.get(key)
+        if cached is None:
+            found = []
+            for length in self._lengths:
+                if length > 64:
+                    break
+                region = self._by_length[length].get(value & network_mask(length))
+                if region is not None:
+                    found.append(region)
+            if len(self._short_cache) >= _CACHE_LIMIT:
+                self._short_cache.clear()
+            cached = tuple(found)
+            self._short_cache[key] = cached
+        return cached
+
+    def _long_index(self) -> list[tuple[int, dict[int, AliasedRegion]]]:
+        return [
+            (network_mask(length), self._by_length[length])
+            for length in self._lengths
+            if length > 64
+        ]
+
+    def find_many(self, addrs: Iterable[int]) -> list[AliasedRegion | None]:
+        """Batched :meth:`find` (same shortest-prefix contract)."""
+        addrs = [int(a) for a in addrs]
+        if not self._lengths:
+            return [None] * len(addrs)
+        long_index = self._long_index()
+        out: list[AliasedRegion | None] = []
+        for value in addrs:
+            shorts = self._short_regions(value)
+            if shorts:
+                out.append(shorts[0])
+                continue
+            found = None
+            for mask, bucket in long_index:
+                found = bucket.get(value & mask)
+                if found is not None:
+                    break
+            out.append(found)
+        return out
+
+    def responds_many(self, addrs: Iterable[int], port: int) -> list[bool]:
+        """Batched :meth:`responds` for the chunked scan path."""
+        addrs = [int(a) for a in addrs]
+        if not self._lengths:
+            return [False] * len(addrs)
+        long_index = self._long_index()
+        out = []
+        for value in addrs:
+            hit = any(port in r.ports for r in self._short_regions(value))
+            if not hit:
+                for mask, bucket in long_index:
+                    region = bucket.get(value & mask)
+                    if region is not None and port in region.ports:
+                        hit = True
+                        break
+            out.append(hit)
+        return out
 
     def __iter__(self) -> Iterator[AliasedRegion]:
         for length in self._lengths:

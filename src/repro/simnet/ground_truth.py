@@ -95,12 +95,30 @@ class GroundTruth:
         self._all_hosts: set[int] | None = None
 
     def _ping_targets(self) -> set[int]:
+        """All hosts on any port, memoised until the next mutation.
+
+        The merged set is shared — treat it as read-only; mutate hosts
+        only through :meth:`add_host` / :meth:`remove_host` so the
+        cache invalidates.
+        """
         if self._all_hosts is None:
             merged: set[int] = set()
             for hosts in self._hosts_by_port.values():
                 merged |= hosts
             self._all_hosts = merged
         return self._all_hosts
+
+    def add_host(self, addr: int, port: int = 80) -> None:
+        """Add an active host (invalidates the merged-host cache)."""
+        self._hosts_by_port.setdefault(port, set()).add(int(addr))
+        self._all_hosts = None
+
+    def remove_host(self, addr: int, port: int = 80) -> None:
+        """Retire a host from a port (invalidates the merged-host cache)."""
+        hosts = self._hosts_by_port.get(port)
+        if hosts is not None:
+            hosts.discard(int(addr))
+        self._all_hosts = None
 
     def is_responsive(self, addr: int, port: int = 80) -> bool:
         value = int(addr)
@@ -112,6 +130,34 @@ class GroundTruth:
         if hosts is not None and value in hosts:
             return True
         return self.aliased.responds(value, port)
+
+    def responsive_many(self, addrs: Iterable[int], port: int = 80) -> list[bool]:
+        """Batched :meth:`is_responsive` over a chunk of addresses.
+
+        Host membership is resolved with one set intersection for the
+        whole chunk; only the misses fall through to the aliased-region
+        batch lookup (which caches recent /64 decisions).  Returns one
+        flag per address, in input order.
+        """
+        addrs = [int(a) for a in addrs]
+        if port == ICMPV6:
+            hosts: set[int] = self._ping_targets()
+        else:
+            hosts = self._hosts_by_port.get(port) or set()
+        present = hosts.intersection(addrs) if hosts else hosts
+        flags = [a in present for a in addrs]
+        if self.aliased:
+            pending = [i for i, flag in enumerate(flags) if not flag]
+            if pending:
+                chunk = [addrs[i] for i in pending]
+                if port == ICMPV6:
+                    found = [r is not None for r in self.aliased.find_many(chunk)]
+                else:
+                    found = self.aliased.responds_many(chunk, port)
+                for i, flag in zip(pending, found):
+                    if flag:
+                        flags[i] = True
+        return flags
 
     def is_aliased(self, addr: int, port: int = 80) -> bool:
         """True if the address responds only because of region aliasing."""
@@ -141,6 +187,9 @@ class SimInternet:
     truth: GroundTruth
     networks: list[BuiltNetwork]
     rng_seed: int
+    _active_hosts_cache: set[int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def as_name(self, asn: int) -> str:
         return self.registry.name_of(asn)
@@ -149,10 +198,28 @@ class SimInternet:
         return [n for n in self.networks if n.spec.asn == asn]
 
     def all_active_hosts(self) -> set[int]:
-        hosts: set[int] = set()
-        for network in self.networks:
-            hosts.update(network.active_hosts)
-        return hosts
+        """Union of active hosts across networks, memoised.
+
+        The returned set is shared — treat it as read-only.  Mutate the
+        network list through :meth:`add_network` (or call
+        :meth:`invalidate_caches` after editing it in place) so the
+        memo stays consistent.
+        """
+        if self._active_hosts_cache is None:
+            hosts: set[int] = set()
+            for network in self.networks:
+                hosts.update(network.active_hosts)
+            self._active_hosts_cache = hosts
+        return self._active_hosts_cache
+
+    def add_network(self, network: BuiltNetwork) -> None:
+        """Append a realised network and invalidate derived caches."""
+        self.networks.append(network)
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop memoised host sets after an in-place mutation."""
+        self._active_hosts_cache = None
 
     def routed_prefixes(self) -> list[Prefix]:
         return [route.prefix for route in self.bgp]

@@ -58,3 +58,56 @@ class TestAliasedRegionSet:
         assert len(list(regions)) == 3
         assert regions
         assert not AliasedRegionSet()
+
+
+class TestBatchLookups:
+    def _nested(self):
+        regions = AliasedRegionSet()
+        regions.add_prefix(Prefix.parse("2001:db8::/56"), (80,))
+        regions.add_prefix(Prefix.parse("2001:db8:0:0:aa::/96"), (443,))
+        regions.add_prefix(Prefix.parse("2600:aaaa::cafe:0/112"), (80,))
+        return regions
+
+    def test_find_returns_shortest_nested_region(self):
+        regions = self._nested()
+        inside_both = addr("2001:db8:0:0:aa::1")
+        found = regions.find(inside_both)
+        assert found is not None and found.prefix.length == 56
+
+    def test_find_many_matches_scalar(self):
+        regions = self._nested()
+        probes = [
+            addr("2001:db8:0:0:aa::1"),   # nested: /56 wins
+            addr("2001:db8:0:ff::1"),     # /56 only
+            addr("2600:aaaa::cafe:1"),    # /112 only
+            addr("2600:aaaa::beef:1"),    # near miss
+            addr("9999::1"),              # far miss
+        ]
+        assert regions.find_many(probes) == [regions.find(a) for a in probes]
+
+    def test_responds_many_matches_scalar(self):
+        regions = self._nested()
+        probes = [
+            addr("2001:db8:0:0:aa::1"),
+            addr("2600:aaaa::cafe:1"),
+            addr("9999::1"),
+        ]
+        for port in (80, 443, 22):
+            assert regions.responds_many(probes, port) == [
+                regions.responds(a, port) for a in probes
+            ]
+
+    def test_empty_set_fast_path(self):
+        regions = AliasedRegionSet()
+        probes = [addr("::1"), addr("2001:db8::1")]
+        assert regions.find_many(probes) == [None, None]
+        assert regions.responds_many(probes, 80) == [False, False]
+
+    def test_cache_invalidated_on_add(self):
+        regions = AliasedRegionSet()
+        regions.add_prefix(Prefix.parse("2001:db8::/56"), (80,))
+        probe = addr("2001:db8:0:0:aa::1")
+        assert regions.find_many([probe])[0].prefix.length == 56
+        # a later, shorter region must supersede the cached decision
+        regions.add_prefix(Prefix.parse("2001:db8::/48"), (80,))
+        assert regions.find_many([probe])[0].prefix.length == 48

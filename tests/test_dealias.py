@@ -165,3 +165,37 @@ class TestAliasedSummary:
         summary = summarize_aliased_prefixes([], BgpTable())
         assert summary.aliased_prefix_count == 0
         assert not summary.asns
+
+
+class TestParallelDealias:
+    def _world(self):
+        regions = AliasedRegionSet()
+        for i in range(6):
+            regions.add_prefix(Prefix.parse(f"2001:db8:{i:x}::/96"))
+        hosts = [addr(f"2600::{i:x}") for i in range(1, 40)]
+        truth = GroundTruth({80: set(hosts)}, regions)
+        return Scanner(truth, rng_seed=0), hosts
+
+    def test_workers_match_serial(self):
+        scanner, hosts = self._world()
+        hits = hosts + [
+            addr(f"2001:db8:{i:x}::{j:x}") for i in range(6) for j in range(1, 30)
+        ]
+        serial = detect_aliased_prefixes(hits, scanner)
+        parallel = detect_aliased_prefixes(hits, self._world()[0], workers=2)
+        assert parallel == serial
+        assert len(serial) == 6
+
+    def test_full_pipeline_workers_match(self):
+        scanner, hosts = self._world()
+        bgp = BgpTable()
+        bgp.add_route(Prefix.parse("2001:db8::/32"), 1)
+        bgp.add_route(Prefix.parse("2600::/32"), 100)
+        hits = hosts + [
+            addr(f"2001:db8:{i:x}::{j:x}") for i in range(6) for j in range(1, 30)
+        ]
+        serial = dealias(hits, scanner, bgp)
+        pooled = dealias(hits, self._world()[0], bgp, workers=2)
+        assert pooled.aliased_prefixes == serial.aliased_prefixes
+        assert pooled.clean_hits == serial.clean_hits
+        assert pooled.aliased_asns == serial.aliased_asns

@@ -197,3 +197,55 @@ class TestIcmpv6:
         truth = tiny_internet.truth
         assert truth.host_count(ICMPV6) >= truth.host_count(80)
         assert truth.hosts(80) <= truth.hosts(ICMPV6)
+
+
+class TestBatchedOracle:
+    def _truth(self):
+        regions = AliasedRegionSet()
+        regions.add_prefix(Prefix.parse("2001:db8:aa::/96"))
+        return GroundTruth({80: {10, 11, 12}, 443: {11}}, regions)
+
+    def test_responsive_many_matches_scalar(self):
+        truth = self._truth()
+        aliased_addr = Prefix.parse("2001:db8:aa::/96").network + 99
+        probes = [10, 11, 12, 13, aliased_addr]
+        for port in (80, 443, 22):
+            assert truth.responsive_many(probes, port) == [
+                truth.is_responsive(a, port) for a in probes
+            ]
+
+    def test_responsive_many_icmp(self):
+        from repro.simnet.ground_truth import ICMPV6
+
+        truth = self._truth()
+        aliased_addr = Prefix.parse("2001:db8:aa::/96").network + 99
+        probes = [10, 11, 99, aliased_addr]
+        assert truth.responsive_many(probes, ICMPV6) == [
+            truth.is_responsive(a, ICMPV6) for a in probes
+        ]
+
+    def test_add_host_invalidates_ping_cache(self):
+        from repro.simnet.ground_truth import ICMPV6
+
+        truth = self._truth()
+        assert not truth.is_responsive(77, ICMPV6)
+        truth.add_host(77, 80)
+        assert truth.is_responsive(77, ICMPV6)
+        truth.remove_host(77, 80)
+        assert not truth.is_responsive(77, ICMPV6)
+
+
+class TestSimInternetMemoisation:
+    def test_all_active_hosts_memoised_and_invalidated(self):
+        internet = default_internet(scale=0.05)
+        first = internet.all_active_hosts()
+        assert internet.all_active_hosts() is first  # cached
+        network = internet.networks[0]
+        clone = type(network)(
+            spec=network.spec,
+            active_hosts={12345},
+            retired_hosts=set(),
+            aliased_regions=[],
+        )
+        internet.add_network(clone)
+        assert 12345 in internet.all_active_hosts()

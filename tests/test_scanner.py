@@ -126,3 +126,163 @@ class TestScannerScan:
         scanner = Scanner(_truth(hosts=[addr("::1")]))
         result = scanner.scan([addr("::2"), addr("::1")], shuffle=False)
         assert result.hits == {addr("::1")}
+
+
+class TestScanConfig:
+    def test_defaults(self):
+        from repro.scanner.engine import ScanConfig
+
+        config = ScanConfig()
+        assert config.batch_size == 4096
+        assert config.workers == 1
+        assert config.use_batched
+
+    def test_rejects_bad_values(self):
+        from repro.scanner.engine import ScanConfig
+
+        with pytest.raises(ValueError):
+            ScanConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ScanConfig(workers=0)
+
+
+class TestScanStatsMerge:
+    def test_merge_sums_counters(self):
+        from repro.scanner.probe import ScanStats
+
+        a = ScanStats(probes_sent=5, responses=2, blacklisted=1, dropped=1)
+        b = ScanStats(probes_sent=3, responses=1, blacklisted=0, dropped=2)
+        assert a.merge(b) is a
+        assert a == ScanStats(probes_sent=8, responses=3, blacklisted=1, dropped=3)
+
+
+def _parity_world():
+    """A world exercising hosts, aliased regions, blacklist, and misses."""
+    import random as random_mod
+
+    rng = random_mod.Random(11)
+    hosts = [rng.getrandbits(128) for _ in range(400)]
+    truth = _truth(hosts=hosts, aliased=["2001:db8:aa::/96"])
+    targets = (
+        hosts[:300]
+        + [rng.getrandbits(128) for _ in range(800)]
+        + [addr("2001:db8:aa::") + rng.getrandbits(24) for _ in range(100)]
+    )
+    rng.shuffle(targets)
+    bl = Blacklist([Prefix(targets[0], 128), Prefix.parse("2600:dead::/48")])
+    targets += [addr("2600:dead::") + i for i in range(20)]
+    return truth, bl, targets
+
+
+class TestScanParity:
+    """The batched/sharded paths must exactly match the reference scan."""
+
+    def test_batched_matches_reference(self):
+        from repro.scanner.engine import ScanConfig
+
+        truth, bl, targets = _parity_world()
+        for loss in (0.0, 0.25):
+            ref = Scanner(
+                truth, blacklist=bl, loss_rate=loss, rng_seed=5,
+                config=ScanConfig(use_batched=False),
+            ).scan(targets)
+            bat = Scanner(
+                truth, blacklist=bl, loss_rate=loss, rng_seed=5,
+                config=ScanConfig(batch_size=128),
+            ).scan(targets)
+            assert bat.hits == ref.hits
+            assert bat.stats == ref.stats
+
+    def test_pool_matches_reference(self):
+        from repro.scanner.engine import ScanConfig
+
+        truth, bl, targets = _parity_world()
+        ref = Scanner(
+            truth, blacklist=bl, loss_rate=0.2, rng_seed=5,
+            config=ScanConfig(use_batched=False),
+        ).scan(targets)
+        pooled = Scanner(
+            truth, blacklist=bl, loss_rate=0.2, rng_seed=5,
+            config=ScanConfig(batch_size=128, workers=2),
+        ).scan(targets)
+        assert pooled.hits == ref.hits
+        assert pooled.stats == ref.stats
+
+    def test_unshuffled_parity(self):
+        from repro.scanner.engine import ScanConfig
+
+        truth, bl, targets = _parity_world()
+        ref = Scanner(
+            truth, blacklist=bl, rng_seed=5, config=ScanConfig(use_batched=False)
+        ).scan(targets, shuffle=False)
+        bat = Scanner(
+            truth, blacklist=bl, rng_seed=5, config=ScanConfig(batch_size=64)
+        ).scan(targets, shuffle=False)
+        assert bat.hits == ref.hits
+        assert bat.stats == ref.stats
+
+
+class TestScanDeterminism:
+    def test_same_input_same_result(self):
+        # Regression for the old set-based dedupe: two identical scans
+        # must produce identical hits AND identical ScanStats.
+        truth, bl, targets = _parity_world()
+        first = Scanner(truth, blacklist=bl, loss_rate=0.3, rng_seed=7).scan(targets)
+        second = Scanner(truth, blacklist=bl, loss_rate=0.3, rng_seed=7).scan(targets)
+        assert first.hits == second.hits
+        assert first.stats == second.stats
+
+    def test_generator_input_streams(self):
+        truth, bl, targets = _parity_world()
+        from_list = Scanner(truth, blacklist=bl, rng_seed=3).scan(targets)
+        from_gen = Scanner(truth, blacklist=bl, rng_seed=3).scan(
+            t for t in targets
+        )
+        assert from_gen.hits == from_list.hits
+        assert from_gen.stats == from_list.stats
+
+
+class TestProbeMany:
+    def test_matches_single_probes(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 30)]
+        scanner = Scanner(_truth(hosts=hosts))
+        probe_targets = hosts[:10] + [addr("2600::1"), addr("2600::2")]
+        flags = scanner.probe_many(probe_targets, 80)
+        assert flags == [t in set(hosts) for t in probe_targets]
+
+    def test_blacklist_short_circuits(self):
+        from repro.scanner.probe import ScanStats
+
+        bl = Blacklist([Prefix.parse("2001:db8::/32")])
+        scanner = Scanner(_truth(hosts=[addr("2001:db8::1")]), blacklist=bl)
+        stats = ScanStats()
+        flags = scanner.probe_many(
+            [addr("2001:db8::1"), addr("2600::1")], 80, attempts=3, stats=stats
+        )
+        assert flags == [False, False]
+        assert stats.blacklisted == 1
+        # the blacklisted address was never probed, on any attempt
+        assert stats.probes_sent == 3  # only the clean miss retried
+
+    def test_retries_recover_loss(self):
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(1, 40)]
+        scanner = Scanner(_truth(hosts=hosts), loss_rate=0.5, rng_seed=1)
+        flags = scanner.probe_many(hosts, 80, attempts=16)
+        assert all(flags)
+
+    def test_responders_stop_retrying(self):
+        scanner = Scanner(_truth(hosts=[addr("::1")]))
+        scanner.probe_many([addr("::1")], 80, attempts=5)
+        assert scanner.total_probes == 1
+
+
+class TestProbeRetryAccounting:
+    def test_blacklisted_counted_once(self):
+        from repro.scanner.probe import ScanStats
+
+        bl = Blacklist([Prefix.parse("2001:db8::/32")])
+        scanner = Scanner(_truth(hosts=[addr("2001:db8::1")]), blacklist=bl)
+        stats = ScanStats()
+        assert not scanner.probe_retry(addr("2001:db8::1"), stats=stats)
+        assert scanner.total_probes == 0
+        assert stats.blacklisted == 1

@@ -102,3 +102,44 @@ class TestDensityOrderedTargets:
         ).range
         head = stream[: dense_range.size()]
         assert all(dense_range.contains(a) for a in head)
+
+
+class TestCyclicPermutation:
+    def test_bijection(self):
+        from repro.scanner.schedule import CyclicPermutation
+
+        for n in (1, 2, 5, 17, 100, 4097):
+            perm = CyclicPermutation(n, key=7)
+            images = [perm(i) for i in range(n)]
+            assert sorted(images) == list(range(n))
+
+    def test_deterministic_per_key(self):
+        from repro.scanner.schedule import CyclicPermutation
+
+        a = [CyclicPermutation(100, key=1)(i) for i in range(100)]
+        b = [CyclicPermutation(100, key=1)(i) for i in range(100)]
+        c = [CyclicPermutation(100, key=2)(i) for i in range(100)]
+        assert a == b
+        assert a != c
+
+    def test_vectorised_matches_scalar(self):
+        from repro.scanner.schedule import CyclicPermutation
+
+        for n in (1, 2, 3, 65, 1000):
+            perm = CyclicPermutation(n, key=99)
+            assert perm.permute_range(0, n) == [perm(i) for i in range(n)]
+            mid = n // 2
+            assert perm.permute_range(mid, n) == [perm(i) for i in range(mid, n)]
+
+    def test_out_of_range_rejected(self):
+        from repro.scanner.schedule import CyclicPermutation
+
+        perm = CyclicPermutation(10, key=0)
+        with pytest.raises(IndexError):
+            perm(10)
+
+    def test_empty_domain(self):
+        from repro.scanner.schedule import CyclicPermutation
+
+        perm = CyclicPermutation(0, key=0)
+        assert perm.permute_range(0, 0) == []
