@@ -5,10 +5,9 @@ design decisions by disabling/States swapping it and comparing runtime
 and/or outcome on the same seed sets.
 """
 
-import time
-
 from repro.analysis import experiments as ex
 from repro.core.sixgen import run_6gen
+from repro.telemetry.timer import time_call
 
 from conftest import BENCH_SCALE
 
@@ -35,12 +34,12 @@ class TestGrowthCachingAblation:
 
     def test_caching_preserves_results(self, save_result):
         seeds = _seed_pool(250)
-        t0 = time.perf_counter()
-        cached = run_6gen(seeds, 3_000, use_growth_cache=True)
-        t_cached = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        naive = run_6gen(seeds, 3_000, use_growth_cache=False)
-        t_naive = time.perf_counter() - t0
+        cached, t_cached = time_call(
+            lambda: run_6gen(seeds, 3_000, use_growth_cache=True)
+        )
+        naive, t_naive = time_call(
+            lambda: run_6gen(seeds, 3_000, use_growth_cache=False)
+        )
         assert {c.range for c in cached.clusters} == {c.range for c in naive.clusters}
         save_result(
             "ablation_caching",

@@ -20,13 +20,13 @@ import pathlib
 import random
 import statistics
 import sys
-import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis import experiments as ex  # noqa: E402
 from repro.core.sixgen import run_6gen  # noqa: E402
+from repro.telemetry.timer import time_call  # noqa: E402
 
 FULL_TIERS = (30, 100, 300, 1000, 2000)
 QUICK_TIERS = (30, 100, 300)
@@ -42,9 +42,10 @@ def bench_tier(pool: list[int], n: int, repeats: int) -> dict:
     for _ in range(repeats):
         results = {}
         for vector in (True, False):
-            start = time.perf_counter()
-            results[vector] = run_6gen(subset, BUDGET, use_vector_kernel=vector)
-            timings[vector].append(time.perf_counter() - start)
+            results[vector], elapsed = time_call(
+                lambda v=vector: run_6gen(subset, BUDGET, use_vector_kernel=v)
+            )
+            timings[vector].append(elapsed)
         if results[True].target_set() != results[False].target_set():
             identical = False
     baseline = statistics.median(timings[False])

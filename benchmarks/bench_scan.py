@@ -23,7 +23,6 @@ import json
 import pathlib
 import statistics
 import sys
-import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -33,6 +32,13 @@ from repro.analysis.grouping import run_per_prefix  # noqa: E402
 from repro.scanner.blacklist import Blacklist  # noqa: E402
 from repro.scanner.engine import ScanConfig, Scanner  # noqa: E402
 from repro.ipv6.prefix import Prefix  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    NULL_TELEMETRY,
+    JsonlSink,
+    RunManifest,
+    Telemetry,
+)
+from repro.telemetry.timer import time_call  # noqa: E402
 
 FULL_TIERS = (10_000, 50_000, 200_000, 500_000)
 QUICK_TIERS = (10_000, 50_000)
@@ -66,7 +72,7 @@ def make_blacklist(pool: list[int]) -> Blacklist:
 
 def bench_tier(
     truth, blacklist: Blacklist, pool: list[int], n: int,
-    repeats: int, loss_rate: float,
+    repeats: int, loss_rate: float, telemetry: Telemetry = NULL_TELEMETRY,
 ) -> dict:
     targets = pool[:n]
     timings: dict[str, list[float]] = {"reference": [], "batched": []}
@@ -78,13 +84,15 @@ def bench_tier(
     for _ in range(repeats):
         results = {}
         for name, config in configs.items():
+            # Only the batched (production) path is instrumented, so
+            # the JSONL records one pipeline's counters per tier run.
             scanner = Scanner(
                 truth, blacklist=blacklist, loss_rate=loss_rate,
                 rng_seed=RNG_SEED, config=config,
+                telemetry=telemetry if name == "batched" else None,
             )
-            start = time.perf_counter()
-            results[name] = scanner.scan(targets)
-            timings[name].append(time.perf_counter() - start)
+            results[name], elapsed = time_call(lambda s=scanner: s.scan(targets))
+            timings[name].append(elapsed)
         if (
             results["batched"].hits != results["reference"].hits
             or results["batched"].stats != results["reference"].stats
@@ -102,19 +110,21 @@ def bench_tier(
     }
 
 
-def check_workers(truth, blacklist: Blacklist, pool: list[int]) -> dict:
+def check_workers(
+    truth, blacklist: Blacklist, pool: list[int],
+    telemetry: Telemetry = NULL_TELEMETRY,
+) -> dict:
     """Multi-worker scan must reproduce the reference hit set and stats."""
     targets = pool[: min(len(pool), 100_000)]
     reference = Scanner(
         truth, blacklist=blacklist, loss_rate=0.1, rng_seed=RNG_SEED,
         config=ScanConfig(use_batched=False),
     ).scan(targets)
-    start = time.perf_counter()
-    pooled = Scanner(
+    pooled_scanner = Scanner(
         truth, blacklist=blacklist, loss_rate=0.1, rng_seed=RNG_SEED,
-        config=ScanConfig(workers=2),
-    ).scan(targets)
-    elapsed = time.perf_counter() - start
+        config=ScanConfig(workers=2), telemetry=telemetry,
+    )
+    pooled, elapsed = time_call(lambda: pooled_scanner.scan(targets))
     return {
         "targets": len(targets),
         "workers": 2,
@@ -137,12 +147,29 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_scan.json",
         help="output JSON path (default: repo-root BENCH_scan.json)",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=pathlib.Path,
+        metavar="FILE",
+        help="also append a telemetry JSONL (manifest + per-tier events + "
+             "scan metrics) for the batched path",
+    )
     args = parser.parse_args(argv)
     if not args.out.parent.is_dir():
         parser.error(f"output directory does not exist: {args.out.parent}")
 
     tiers = QUICK_TIERS if args.quick else FULL_TIERS
     repeats = 2 if args.quick else 3
+    telemetry = (
+        Telemetry(JsonlSink(args.telemetry)) if args.telemetry
+        else NULL_TELEMETRY
+    )
+    RunManifest.create(
+        "bench_scan",
+        {"quick": args.quick, "scale": SCALE, "budget": BUDGET,
+         "repeats": repeats},
+        rng_seed=RNG_SEED,
+    ).emit(telemetry)
     pool = build_pool(max(tiers))
     tiers = tuple(n for n in tiers if n <= len(pool)) or (len(pool),)
     blacklist = make_blacklist(pool)
@@ -150,27 +177,31 @@ def main(argv: list[str] | None = None) -> int:
 
     rows = []
     for n in tiers:
-        row = bench_tier(truth, blacklist, pool, n, repeats, 0.0)
+        row = bench_tier(truth, blacklist, pool, n, repeats, 0.0, telemetry)
         rows.append(row)
+        telemetry.event("progress", {"stage": "bench_tier", **row})
         print(
             f"targets={row['targets']:>7}  baseline={row['baseline_median_s']:.3f}s  "
             f"batched={row['batched_median_s']:.3f}s  speedup={row['speedup']}x  "
             f"identical={row['identical']}"
         )
     # One lossy tier: the loss PRF must stay order-independent.
-    lossy = bench_tier(truth, blacklist, pool, tiers[0], repeats, 0.2)
+    lossy = bench_tier(truth, blacklist, pool, tiers[0], repeats, 0.2, telemetry)
     rows.append(lossy)
+    telemetry.event("progress", {"stage": "bench_tier", **lossy})
     print(
         f"targets={lossy['targets']:>7}  loss=0.2  "
         f"baseline={lossy['baseline_median_s']:.3f}s  "
         f"batched={lossy['batched_median_s']:.3f}s  "
         f"identical={lossy['identical']}"
     )
-    workers = check_workers(truth, blacklist, pool)
+    workers = check_workers(truth, blacklist, pool, telemetry)
+    telemetry.event("progress", {"stage": "workers_check", **workers})
     print(
         f"workers={workers['workers']}  targets={workers['targets']}  "
         f"pool={workers['pool_s']:.3f}s  identical={workers['identical']}"
     )
+    telemetry.close()
 
     payload = {
         "benchmark": "scan_batched_pipeline",

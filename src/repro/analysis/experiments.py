@@ -27,6 +27,7 @@ from ..scanner.engine import ScanConfig, Scanner
 from ..simnet.bgp import group_by_routed_prefix
 from ..simnet.dns import SeedCollection, collect_seeds
 from ..simnet.ground_truth import SimInternet, default_internet
+from ..telemetry.spans import Telemetry, ensure
 from .grouping import MultiPrefixRun, run_per_prefix
 from .metrics import (
     SEED_BUCKETS,
@@ -119,6 +120,7 @@ def run_full_scan(
     dealias_hits: bool = True,
     port: int = 80,
     scan_config: ScanConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ScanOutcome:
     """Run 6Gen per routed prefix, scan one port, and dealias the hits.
 
@@ -126,22 +128,29 @@ def run_full_scan(
     the union set is never materialised.  ``scan_config`` selects the
     scan execution strategy (batch size, worker processes); the result
     is identical for every config, so callers tune it freely.
+    ``telemetry`` instruments all three stages (generation, scan,
+    dealiasing) under one ``full_scan`` span without changing any of
+    them.
     """
+    tele = ensure(telemetry)
     if seed_addrs is None:
         groups = context.groups
     else:
         groups = group_by_routed_prefix(seed_addrs, context.internet.bgp)
-    run = run_per_prefix(groups, budget, loose=loose)
-    config = scan_config or ScanConfig()
-    scanner = Scanner(context.internet.truth, config=config)
-    scan = scanner.scan(run.iter_targets(), port=port)
-    if dealias_hits:
-        report = dealias(
-            scan.hits, scanner, context.internet.bgp, port=port,
-            workers=config.workers,
+    with tele.span("full_scan", budget=budget, port=port):
+        run = run_per_prefix(groups, budget, loose=loose, telemetry=telemetry)
+        config = scan_config or ScanConfig()
+        scanner = Scanner(
+            context.internet.truth, config=config, telemetry=telemetry
         )
-    else:
-        report = DealiasReport(clean_hits=set(scan.hits))
+        scan = scanner.scan(run.iter_targets(), port=port)
+        if dealias_hits:
+            report = dealias(
+                scan.hits, scanner, context.internet.bgp, port=port,
+                workers=config.workers, telemetry=telemetry,
+            )
+        else:
+            report = DealiasReport(clean_hits=set(scan.hits))
     return ScanOutcome(
         context=context,
         budget=budget,

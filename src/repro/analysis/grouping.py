@@ -15,6 +15,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 from ..core.sixgen import SixGenResult, run_6gen
 from ..ipv6.prefix import Prefix
+from ..telemetry.spans import Telemetry, ensure
 
 #: A budget allocation policy: maps (prefix, seeds, base_budget) -> budget.
 BudgetPolicy = Callable[[Prefix, Sequence[int], int], int]
@@ -113,6 +114,7 @@ def run_per_prefix(
     min_seeds: int = 1,
     rng_seed: int | None = 0,
     processes: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> MultiPrefixRun:
     """Run 6Gen on every routed prefix's seed group.
 
@@ -125,7 +127,14 @@ def run_per_prefix(
     parallelisation axis §5.6 mentions ("we could parallelize execution
     across different prefixes").  Results are identical to the serial
     path because every prefix run is independently seeded.
+
+    ``telemetry`` records a ``generate`` span, per-prefix ``progress``
+    events, and aggregate counters.  In the process-pool path the
+    per-run counters still aggregate (in the parent, from each
+    returned result); only the in-process per-prefix ``sixgen`` spans
+    are unavailable, since telemetry objects stay in the parent.
     """
+    tele = ensure(telemetry)
     work = []
     for prefix in sorted(groups):
         seeds = [int(s) for s in groups[prefix]]
@@ -135,27 +144,57 @@ def run_per_prefix(
         work.append((prefix, seeds, prefix_budget, loose, ledger, rng_seed))
 
     out = MultiPrefixRun()
-    if processes and processes > 1 and len(work) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    with tele.span("generate", prefixes=len(work), budget=budget):
+        if processes and processes > 1 and len(work) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        # Seed-count distributions are heavy-tailed (Figure 4): a few
-        # prefixes dominate the runtime.  Submit largest-first with
-        # chunksize=1 so a giant prefix never queues behind a chunk of
-        # small ones at the tail of the pool — with the default
-        # (sorted-by-prefix, auto-chunked) layout the whole run waits on
-        # whichever worker happened to draw the biggest group last.
-        work.sort(key=lambda item: (-len(item[1]), item[0]))
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            for prefix, seeds, prefix_budget, result in pool.map(
-                _run_one, work, chunksize=1
-            ):
-                out.runs[prefix] = PrefixRun(
-                    prefix=prefix, seeds=seeds, budget=prefix_budget, result=result
+            # Seed-count distributions are heavy-tailed (Figure 4): a few
+            # prefixes dominate the runtime.  Submit largest-first with
+            # chunksize=1 so a giant prefix never queues behind a chunk of
+            # small ones at the tail of the pool — with the default
+            # (sorted-by-prefix, auto-chunked) layout the whole run waits on
+            # whichever worker happened to draw the biggest group last.
+            work.sort(key=lambda item: (-len(item[1]), item[0]))
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                for prefix, seeds, prefix_budget, result in pool.map(
+                    _run_one, work, chunksize=1
+                ):
+                    out.runs[prefix] = PrefixRun(
+                        prefix=prefix, seeds=seeds, budget=prefix_budget,
+                        result=result,
+                    )
+                    _record_prefix_run(tele, out.runs[prefix], len(work))
+        else:
+            for prefix, seeds, prefix_budget, loose_, ledger_, seed_ in work:
+                result = run_6gen(
+                    seeds, prefix_budget, loose=loose_, ledger=ledger_,
+                    rng_seed=seed_, telemetry=telemetry,
                 )
-    else:
-        for item in work:
-            prefix, seeds, prefix_budget, result = _run_one(item)
-            out.runs[prefix] = PrefixRun(
-                prefix=prefix, seeds=seeds, budget=prefix_budget, result=result
-            )
+                out.runs[prefix] = PrefixRun(
+                    prefix=prefix, seeds=seeds, budget=prefix_budget,
+                    result=result,
+                )
+                _record_prefix_run(tele, out.runs[prefix], len(work))
     return out
+
+
+def _record_prefix_run(
+    telemetry: Telemetry, run: PrefixRun, total: int
+) -> None:
+    """Per-prefix progress accounting (no-op for null telemetry)."""
+    if not telemetry.enabled:
+        return
+    telemetry.count("generate.prefixes")
+    telemetry.count("generate.budget_used", run.result.budget_used)
+    telemetry.count("generate.clusters", len(run.result.clusters))
+    telemetry.event(
+        "progress",
+        {
+            "stage": "6gen",
+            "prefix": str(run.prefix),
+            "seeds": len(run.seeds),
+            "budget_used": run.result.budget_used,
+            "iterations": run.result.iterations,
+            "total_prefixes": total,
+        },
+    )

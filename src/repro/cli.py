@@ -7,12 +7,21 @@ Subcommands mirror the toolchain of the paper:
 * ``scan``       — scan a target hitlist against the simulated Internet;
 * ``dealias``    — run the §6.2 dealiasing pipeline on a hit list;
 * ``simulate``   — build the simulated Internet and emit its seed snapshot;
-* ``experiment`` — run a named paper experiment and print its table/figure.
+* ``experiment`` — run a named paper experiment and print its table/figure;
+* ``report``     — full-pipeline markdown report, or a telemetry run
+  summary / two-run delta when given ``.jsonl`` files.
+
+The ``scan`` / ``6gen`` / ``dealias`` / ``adaptive`` commands accept
+``--telemetry PATH`` to stream metrics, spans, and a run manifest to a
+JSONL file (see ``docs/observability.md``), and ``scan`` / ``6gen`` /
+``dealias`` accept ``--quiet`` / ``--json`` to replace the human
+output with nothing, or with a single machine-readable summary line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -24,31 +33,94 @@ from .scanner.dealias import dealias
 from .scanner.engine import Scanner
 from .simnet.dns import collect_seeds
 from .simnet.ground_truth import default_internet
+from .telemetry import JsonlSink, RunManifest, Telemetry
+
+
+class _Output:
+    """One formatting helper for every command's human/machine output.
+
+    ``say`` prints human-readable progress lines (suppressed by
+    ``--quiet`` and by ``--json``); ``finish`` prints the single
+    machine-readable summary line when ``--json`` was given.  Errors
+    always go to stderr regardless of mode.
+    """
+
+    def __init__(self, args: argparse.Namespace):
+        self.quiet = bool(getattr(args, "quiet", False))
+        self.json = bool(getattr(args, "json", False))
+
+    def say(self, text: str) -> None:
+        if not self.quiet and not self.json:
+            print(text)
+
+    def error(self, text: str) -> None:
+        print(f"error: {text}", file=sys.stderr)
+
+    def finish(self, command: str, summary: dict) -> None:
+        if self.json:
+            print(json.dumps({"command": command, **summary}, sort_keys=True))
+
+
+def _open_telemetry(
+    args: argparse.Namespace, command: str, config: dict
+) -> Telemetry | None:
+    """Build a JSONL-backed telemetry for ``--telemetry PATH`` (or None).
+
+    The manifest event is written immediately, so even a run that
+    crashes early leaves a self-describing file behind.
+    """
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return None
+    telemetry = Telemetry(JsonlSink(path))
+    RunManifest.create(
+        command, config, rng_seed=getattr(args, "rng_seed", None)
+    ).emit(telemetry)
+    return telemetry
+
+
+def _close_telemetry(telemetry: Telemetry | None) -> None:
+    if telemetry is not None:
+        telemetry.close()
 
 
 def _cmd_6gen(args: argparse.Namespace) -> int:
+    out = _Output(args)
     seeds = read_hitlist_ints(args.seeds)
     if not seeds:
-        print("error: no seeds in input", file=sys.stderr)
+        out.error("no seeds in input")
         return 1
-    result = run_6gen(
-        seeds,
-        args.budget,
-        loose=not args.tight,
-        ledger=args.ledger,
-        rng_seed=args.rng_seed,
+    telemetry = _open_telemetry(
+        args, "6gen",
+        {
+            "budget": args.budget,
+            "tight": args.tight,
+            "ledger": args.ledger,
+            "seeds": len(seeds),
+        },
     )
-    count = write_hitlist(
-        args.output,
-        result.iter_targets(),
-        header=f"6Gen targets: {len(seeds)} seeds, budget {args.budget}",
-    )
-    print(f"seeds: {len(seeds)}")
-    print(f"clusters: {len(result.clusters)} "
-          f"({len(result.grown_clusters())} grown, "
-          f"{len(result.singleton_clusters())} singleton)")
-    print(f"budget used: {result.budget_used}/{result.budget_limit}")
-    print(f"targets written: {count} -> {args.output}")
+    try:
+        result = run_6gen(
+            seeds,
+            args.budget,
+            loose=not args.tight,
+            ledger=args.ledger,
+            rng_seed=args.rng_seed,
+            telemetry=telemetry,
+        )
+        count = write_hitlist(
+            args.output,
+            result.iter_targets(),
+            header=f"6Gen targets: {len(seeds)} seeds, budget {args.budget}",
+        )
+    finally:
+        _close_telemetry(telemetry)
+    out.say(f"seeds: {len(seeds)}")
+    out.say(f"clusters: {len(result.clusters)} "
+            f"({len(result.grown_clusters())} grown, "
+            f"{len(result.singleton_clusters())} singleton)")
+    out.say(f"budget used: {result.budget_used}/{result.budget_limit}")
+    out.say(f"targets written: {count} -> {args.output}")
     if args.ranges_output:
         from .datasets.rangelist import write_rangelist
 
@@ -57,12 +129,25 @@ def _cmd_6gen(args: argparse.Namespace) -> int:
             (c.range for c in result.clusters),
             header=f"6Gen cluster ranges: {len(seeds)} seeds, budget {args.budget}",
         )
-        print(f"cluster ranges written: {range_count} -> {args.ranges_output}")
+        out.say(f"cluster ranges written: {range_count} -> {args.ranges_output}")
     if args.show_clusters:
         for cluster in sorted(
             result.clusters, key=lambda c: -c.seed_count
         )[: args.show_clusters]:
-            print(f"  {cluster}")
+            out.say(f"  {cluster}")
+    out.finish(
+        "6gen",
+        {
+            "seeds": len(seeds),
+            "clusters": len(result.clusters),
+            "clusters_grown": len(result.grown_clusters()),
+            "budget_used": result.budget_used,
+            "budget_limit": result.budget_limit,
+            "iterations": result.iterations,
+            "targets_written": count,
+            "output": str(args.output),
+        },
+    )
     return 0
 
 
@@ -92,33 +177,88 @@ def _load_internet(args: argparse.Namespace):
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    out = _Output(args)
     targets = read_hitlist_ints(args.targets)
     internet = _load_internet(args)
-    scanner = Scanner(internet.truth)
-    result = scanner.scan(targets, port=args.port)
-    print(f"targets: {len(targets)}")
-    print(f"probes sent: {result.stats.probes_sent}")
-    print(f"hits: {result.hit_count()} (rate {result.stats.hit_rate:.2%})")
+    telemetry = _open_telemetry(
+        args, "scan",
+        {
+            "port": args.port,
+            "targets": len(targets),
+            "world": getattr(args, "world", None),
+            "scale": args.scale,
+            "world_seed": args.world_seed,
+        },
+    )
+    try:
+        scanner = Scanner(internet.truth, telemetry=telemetry)
+        result = scanner.scan(targets, port=args.port)
+    finally:
+        _close_telemetry(telemetry)
+    out.say(f"targets: {len(targets)}")
+    out.say(f"probes sent: {result.stats.probes_sent}")
+    out.say(f"hits: {result.hit_count()} (rate {result.stats.hit_rate:.2%})")
     if args.output:
         write_hitlist(args.output, result.hits, header=f"TCP/{args.port} hits")
-        print(f"hits written -> {args.output}")
+        out.say(f"hits written -> {args.output}")
+    out.finish(
+        "scan",
+        {
+            "targets": len(targets),
+            "port": args.port,
+            "probes_sent": result.stats.probes_sent,
+            "blacklisted": result.stats.blacklisted,
+            "dropped": result.stats.dropped,
+            "hits": result.hit_count(),
+            "hit_rate": round(result.stats.hit_rate, 6),
+            "output": str(args.output) if args.output else None,
+        },
+    )
     return 0
 
 
 def _cmd_dealias(args: argparse.Namespace) -> int:
+    out = _Output(args)
     hits = read_hitlist_ints(args.hits)
     internet = _load_internet(args)
-    scanner = Scanner(internet.truth)
-    report = dealias(hits, scanner, internet.bgp, port=args.port)
-    print(f"hits in: {len(hits)}")
-    print(f"aliased /96 prefixes: {len(report.aliased_prefixes)}")
-    print(f"aliased ASNs: {sorted(report.aliased_asns) or '(none)'}")
-    print(f"aliased hits: {len(report.aliased_hits)} "
-          f"({report.aliased_fraction():.1%})")
-    print(f"clean hits: {len(report.clean_hits)}")
+    telemetry = _open_telemetry(
+        args, "dealias",
+        {
+            "port": args.port,
+            "hits": len(hits),
+            "world": getattr(args, "world", None),
+            "scale": args.scale,
+            "world_seed": args.world_seed,
+        },
+    )
+    try:
+        scanner = Scanner(internet.truth, telemetry=telemetry)
+        report = dealias(
+            hits, scanner, internet.bgp, port=args.port, telemetry=telemetry
+        )
+    finally:
+        _close_telemetry(telemetry)
+    out.say(f"hits in: {len(hits)}")
+    out.say(f"aliased /96 prefixes: {len(report.aliased_prefixes)}")
+    out.say(f"aliased ASNs: {sorted(report.aliased_asns) or '(none)'}")
+    out.say(f"aliased hits: {len(report.aliased_hits)} "
+            f"({report.aliased_fraction():.1%})")
+    out.say(f"clean hits: {len(report.clean_hits)}")
     if args.output:
         write_hitlist(args.output, report.clean_hits, header="dealiased hits")
-        print(f"clean hits written -> {args.output}")
+        out.say(f"clean hits written -> {args.output}")
+    out.finish(
+        "dealias",
+        {
+            "hits_in": len(hits),
+            "aliased_prefixes": len(report.aliased_prefixes),
+            "aliased_asns": sorted(report.aliased_asns),
+            "aliased_hits": len(report.aliased_hits),
+            "aliased_fraction": round(report.aliased_fraction(), 6),
+            "clean_hits": len(report.clean_hits),
+            "output": str(args.output) if args.output else None,
+        },
+    )
     return 0
 
 
@@ -150,10 +290,22 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
         print("error: no seeds in input", file=sys.stderr)
         return 1
     internet = _load_internet(args)
-    scanner = Scanner(internet.truth)
-    result = run_adaptive(
-        seeds, scanner, args.budget, rounds=args.rounds, port=args.port
+    telemetry = _open_telemetry(
+        args, "adaptive",
+        {
+            "budget": args.budget,
+            "rounds": args.rounds,
+            "port": args.port,
+            "seeds": len(seeds),
+        },
     )
+    try:
+        scanner = Scanner(internet.truth, telemetry=telemetry)
+        result = run_adaptive(
+            seeds, scanner, args.budget, rounds=args.rounds, port=args.port
+        )
+    finally:
+        _close_telemetry(telemetry)
     print(f"seeds: {len(seeds)}")
     print(f"probes used: {result.probes_used}/{args.budget}")
     print(f"hits: {len(result.hits)} (rate {result.hit_rate:.2%})")
@@ -286,6 +438,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if str(args.output).endswith(".jsonl") or args.against:
+        return _cmd_report_telemetry(args)
     from .analysis.experiments import run_full_scan, standard_context
     from .analysis.report import scan_report
 
@@ -303,6 +457,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report_telemetry(args: argparse.Namespace) -> int:
+    """Summarise a telemetry JSONL run (or diff it against another)."""
+    from .telemetry.report import load_run, render_delta, render_summary
+
+    try:
+        run = load_run(args.output)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.against:
+        try:
+            baseline = load_run(args.against)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(render_delta(run, baseline))
+    else:
+        print(render_summary(run))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "all":
         names = list(_EXPERIMENTS)
@@ -313,6 +488,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(_EXPERIMENTS[name](args))
         print()
     return 0
+
+
+def add_output_options(parser: argparse.ArgumentParser) -> None:
+    """``--quiet`` / ``--json`` shared by scan / 6gen / dealias."""
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress human-readable output",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON summary line instead",
+    )
+
+
+def add_telemetry_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="FILE",
+        help="append telemetry events (manifest, spans, metrics) to this "
+             "JSONL file; summarise later with `repro6 report FILE`",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -345,6 +540,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--ranges-output", metavar="FILE",
         help="also write the cluster ranges as a compact range list",
     )
+    add_output_options(p)
+    add_telemetry_option(p)
     p.set_defaults(func=_cmd_6gen)
 
     p = sub.add_parser("entropy-ip", help="run Entropy/IP on a seed hitlist")
@@ -366,6 +563,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write hits to this hitlist")
     p.add_argument("--port", type=int, default=80)
     add_world_options(p)
+    add_output_options(p)
+    add_telemetry_option(p)
     p.set_defaults(func=_cmd_scan)
 
     p = sub.add_parser("dealias", help="run §6.2 dealiasing on a hit list")
@@ -373,6 +572,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write clean hits to this hitlist")
     p.add_argument("--port", type=int, default=80)
     add_world_options(p)
+    add_output_options(p)
+    add_telemetry_option(p)
     p.set_defaults(func=_cmd_dealias)
 
     p = sub.add_parser("simulate", help="build the simulated Internet")
@@ -394,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=2)
     p.add_argument("--port", type=int, default=80)
     add_world_options(p)
+    add_telemetry_option(p)
     p.set_defaults(func=_cmd_adaptive)
 
     p = sub.add_parser("validate", help="validate a world file's network specs")
@@ -410,9 +612,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser(
-        "report", help="run the full §6 pipeline and write a markdown report"
+        "report",
+        help="write the full §6 markdown report, or summarise a telemetry "
+             "run (`report RUN.jsonl`, optionally `--against BASELINE.jsonl`)",
     )
-    p.add_argument("output", help="markdown file to write")
+    p.add_argument(
+        "output",
+        help="markdown file to write, or a telemetry .jsonl file to summarise",
+    )
+    p.add_argument(
+        "--against", metavar="FILE",
+        help="second telemetry .jsonl: render a delta view instead",
+    )
     p.add_argument("--budget", type=int, default=5_000)
     p.add_argument("--scale", type=float, default=0.2)
     p.set_defaults(func=_cmd_report)

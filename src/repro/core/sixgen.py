@@ -40,6 +40,7 @@ import numpy as np
 from ..ipv6.nybble import FULL_MASK, NYBBLE_COUNT, popcount16
 from ..ipv6.nybble_tree import NybbleTree
 from ..ipv6.range_ import NybbleRange
+from ..telemetry.spans import Telemetry, ensure
 from .budget import BudgetExceeded, ExactLedger, make_ledger
 from .candidates import SeedMatrix, find_candidates_python
 from .cluster import Cluster, Growth, growth_beats
@@ -212,8 +213,20 @@ class _HeapEntry:
 class SixGen:
     """A single 6Gen run over one seed set (typically one routed prefix)."""
 
-    def __init__(self, seeds: Sequence[int], config: SixGenConfig):
+    def __init__(
+        self,
+        seeds: Sequence[int],
+        config: SixGenConfig,
+        telemetry: Telemetry | None = None,
+    ):
         self.config = config
+        # Passive observation only: the telemetry object never touches
+        # ``self.rng`` or reorders candidate evaluation, so results are
+        # bit-identical with telemetry on or off.
+        self.telemetry = ensure(telemetry)
+        #: Candidate evaluations performed (plain int on the hot path;
+        #: flushed to telemetry counters once per run).
+        self.candidate_scans = 0
         self.seeds = sorted(set(int(s) for s in seeds))
         self.rng = random.Random(config.rng_seed)
         self.tree = NybbleTree(self.seeds)
@@ -262,6 +275,7 @@ class SixGen:
         tree, so absorbed seeds (candidate or not) are included.
         """
         indices = self._find_candidates(cluster.range)
+        self.candidate_scans += len(indices)
         if not indices:
             return None
         best: Growth | None = None
@@ -313,6 +327,7 @@ class SixGen:
         candidate — the init path derives them from seed XORs without
         any numpy round-trip.
         """
+        self.candidate_scans += len(indices)
         if not indices:
             return None
         loose = self.config.loose
@@ -564,27 +579,31 @@ class SixGen:
     # -- driver --------------------------------------------------------------
     def run(self) -> SixGenResult:
         """Execute 6Gen to completion and return the clusters and targets."""
+        tele = self.telemetry
         start = time.perf_counter()
         sampled: list[int] = []
-        if self.seeds:
-            self._init_clusters()
-            while True:
-                selected = self._select_growth()
-                if selected is None:
-                    break  # every remaining cluster already holds all seeds
-                cid, growth = selected
-                old_range = self._clusters[cid].range
-                try:
-                    self.ledger.try_charge(growth.new_range, old_range)
-                except BudgetExceeded:
-                    sampled = self.ledger.charge_partial(
-                        growth.new_range, old_range, self.rng
-                    )
-                    break
-                self.iterations += 1
-                self._apply_growth(cid, growth)
-                if growth.new_seed_count == len(self.seeds):
-                    break  # all seeds unified into a single cluster
+        with tele.span(
+            "sixgen", seeds=len(self.seeds), budget=self.config.budget
+        ):
+            if self.seeds:
+                self._init_clusters()
+                while True:
+                    selected = self._select_growth()
+                    if selected is None:
+                        break  # every remaining cluster already holds all seeds
+                    cid, growth = selected
+                    old_range = self._clusters[cid].range
+                    try:
+                        self.ledger.try_charge(growth.new_range, old_range)
+                    except BudgetExceeded:
+                        sampled = self.ledger.charge_partial(
+                            growth.new_range, old_range, self.rng
+                        )
+                        break
+                    self.iterations += 1
+                    self._apply_growth(cid, growth)
+                    if growth.new_seed_count == len(self.seeds):
+                        break  # all seeds unified into a single cluster
 
         result = SixGenResult(
             clusters=list(self._clusters.values()),
@@ -598,6 +617,35 @@ class SixGen:
         if isinstance(self.ledger, ExactLedger):
             # The exact ledger already knows the deduplicated target set.
             result._targets = set(self.ledger.covered())
+        if tele.enabled:
+            grown = sum(1 for c in result.clusters if not c.is_singleton())
+            tele.count("sixgen.runs")
+            tele.count(
+                "sixgen.vector_runs" if self.vectorised
+                else "sixgen.reference_runs"
+            )
+            tele.count("sixgen.seeds", result.seed_count)
+            tele.count("sixgen.iterations", result.iterations)
+            tele.count("sixgen.clusters_grown", grown)
+            tele.count("sixgen.clusters_final", len(result.clusters))
+            tele.count("sixgen.candidate_scans", self.candidate_scans)
+            tele.count("sixgen.budget_used", result.budget_used)
+            tele.count("sixgen.sampled_targets", len(result.sampled))
+            tele.observe("sixgen.run_seconds", result.elapsed_seconds)
+            tele.event(
+                "sixgen_summary",
+                {
+                    "seeds": result.seed_count,
+                    "iterations": result.iterations,
+                    "clusters": len(result.clusters),
+                    "clusters_grown": grown,
+                    "budget_used": result.budget_used,
+                    "budget_limit": result.budget_limit,
+                    "candidate_scans": self.candidate_scans,
+                    "kernel": "vector" if self.vectorised else "reference",
+                    "seconds": round(result.elapsed_seconds, 6),
+                },
+            )
         return result
 
 
@@ -611,12 +659,15 @@ def run_6gen(
     use_growth_cache: bool = True,
     use_vector_kernel: bool = True,
     rng_seed: int | None = 0,
+    telemetry: Telemetry | None = None,
 ) -> SixGenResult:
     """Convenience wrapper: run 6Gen on a seed set with a probe budget.
 
     ``seeds`` may be address integers or :class:`~repro.ipv6.IPv6Addr`
     instances.  Returns a :class:`SixGenResult`; call
     :meth:`~SixGenResult.target_set` for the generated scan targets.
+    ``telemetry`` (optional) records counters, the run span, and a
+    summary event without perturbing the run in any way.
     """
     config = SixGenConfig(
         budget=budget,
@@ -627,4 +678,4 @@ def run_6gen(
         use_vector_kernel=use_vector_kernel,
         rng_seed=rng_seed,
     )
-    return SixGen([int(s) for s in seeds], config).run()
+    return SixGen([int(s) for s in seeds], config, telemetry=telemetry).run()

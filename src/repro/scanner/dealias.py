@@ -31,6 +31,7 @@ from typing import Iterable, Sequence
 
 from ..ipv6.prefix import Prefix
 from ..simnet.bgp import BgpTable
+from ..telemetry.spans import Telemetry, ensure
 from .engine import Scanner
 from .probe import DEFAULT_PORT
 from .schedule import mix64
@@ -173,25 +174,36 @@ def detect_aliased_prefixes(
     port: int = DEFAULT_PORT,
     rng_seed: int | None = 0,
     workers: int = 1,
+    telemetry: Telemetry | None = None,
 ) -> set[Prefix]:
     """All hit-containing /length prefixes that test as aliased.
 
     Prefixes are tested in sorted order with per-prefix derived RNGs,
     so the result is a pure function of ``(hits, rng_seed)`` and the
-    scanner — identical for any ``workers`` value.
+    scanner — identical for any ``workers`` value (and with telemetry
+    on or off: verdict RNGs derive from the prefix, never from the
+    observer).
     """
+    tele = ensure(telemetry)
     base = _base_key(rng_seed)
     prefixes = sorted(group_hits_by_prefix(hits, length))
     pairs = [(prefix, _derived_seed(base, prefix)) for prefix in prefixes]
-    flags = _run_alias_tests(
-        pairs,
-        scanner,
-        sample_addrs=sample_addrs,
-        probes_per_addr=probes_per_addr,
-        port=port,
-        workers=workers,
-    )
-    return {prefix for prefix, flagged in zip(prefixes, flags) if flagged}
+    probes_before = scanner.total_probes
+    with tele.span("alias_detect", length=length, prefixes=len(pairs)):
+        flags = _run_alias_tests(
+            pairs,
+            scanner,
+            sample_addrs=sample_addrs,
+            probes_per_addr=probes_per_addr,
+            port=port,
+            workers=workers,
+        )
+    aliased = {prefix for prefix, flagged in zip(prefixes, flags) if flagged}
+    if tele.enabled:
+        tele.count("dealias.prefixes_tested", len(pairs))
+        tele.count("dealias.aliased_prefixes", len(aliased))
+        tele.count("dealias.probes", scanner.total_probes - probes_before)
+    return aliased
 
 
 def split_hits(
@@ -224,6 +236,7 @@ def as_level_inspection(
     port: int = DEFAULT_PORT,
     rng_seed: int | None = 1,
     workers: int = 1,
+    telemetry: Telemetry | None = None,
 ) -> set[int]:
     """Find ASes aliased at a finer granularity than /96 (§6.2's manual step).
 
@@ -233,6 +246,7 @@ def as_level_inspection(
     prefixes are aliased.  All per-prefix tests across the inspected
     ASes form one flat work list, sharded over ``workers`` processes.
     """
+    tele = ensure(telemetry)
     base = _base_key(rng_seed)
     by_asn: dict[int, list[int]] = defaultdict(list)
     for addr in clean_hits:
@@ -244,14 +258,17 @@ def as_level_inspection(
     for asn in top_ases:
         for prefix, addrs in sorted(group_hits_by_prefix(by_asn[asn], length).items()):
             tests.append((asn, prefix, len(addrs)))
-    flags = _run_alias_tests(
-        [(prefix, _derived_seed(base, prefix)) for _, prefix, _ in tests],
-        scanner,
-        sample_addrs=3,
-        probes_per_addr=3,
-        port=port,
-        workers=workers,
-    )
+    with tele.span("as_inspection", ases=len(top_ases), prefixes=len(tests)):
+        flags = _run_alias_tests(
+            [(prefix, _derived_seed(base, prefix)) for _, prefix, _ in tests],
+            scanner,
+            sample_addrs=3,
+            probes_per_addr=3,
+            port=port,
+            workers=workers,
+        )
+    if tele.enabled:
+        tele.count("dealias.as_prefixes_tested", len(tests))
     # Weight by hits, not by prefix count: an AS whose hits
     # overwhelmingly sit inside aliased sub-prefixes is flagged even
     # if it also has a few genuine host prefixes.
@@ -259,11 +276,14 @@ def as_level_inspection(
     for (asn, _, addr_count), flagged_prefix in zip(tests, flags):
         if flagged_prefix:
             aliased_by_asn[asn] += addr_count
-    return {
+    flagged_asns = {
         asn
         for asn in top_ases
         if by_asn[asn] and aliased_by_asn[asn] / len(by_asn[asn]) > aliased_fraction
     }
+    if tele.enabled:
+        tele.count("dealias.aliased_asns", len(flagged_asns))
+    return flagged_asns
 
 
 @dataclass
@@ -322,33 +342,54 @@ def dealias(
     port: int = DEFAULT_PORT,
     rng_seed: int | None = 0,
     workers: int = 1,
+    telemetry: Telemetry | None = None,
 ) -> DealiasReport:
     """Run the full dealiasing pipeline: /96 detection + AS inspection.
 
     ``workers`` > 1 shards the independent per-prefix alias tests over
     a process pool; the report is identical for any worker count.
     """
+    tele = ensure(telemetry)
     hit_set = {int(h) for h in hits}
-    aliased_prefixes = detect_aliased_prefixes(
-        hit_set, scanner, length=length, port=port, rng_seed=rng_seed,
-        workers=workers,
-    )
-    aliased_hits, clean_hits = split_hits(hit_set, aliased_prefixes)
-    aliased_asns: set[int] = set()
-    if as_inspection and bgp is not None and clean_hits:
-        aliased_asns = as_level_inspection(
-            clean_hits, bgp, scanner, port=port, rng_seed=rng_seed,
-            workers=workers,
+    with tele.span("dealias", hits=len(hit_set), workers=workers):
+        aliased_prefixes = detect_aliased_prefixes(
+            hit_set, scanner, length=length, port=port, rng_seed=rng_seed,
+            workers=workers, telemetry=tele,
         )
-        if aliased_asns:
-            moved = {
-                addr for addr in clean_hits if bgp.origin_asn(addr) in aliased_asns
-            }
-            clean_hits -= moved
-            aliased_hits |= moved
-    return DealiasReport(
+        aliased_hits, clean_hits = split_hits(hit_set, aliased_prefixes)
+        aliased_asns: set[int] = set()
+        if as_inspection and bgp is not None and clean_hits:
+            aliased_asns = as_level_inspection(
+                clean_hits, bgp, scanner, port=port, rng_seed=rng_seed,
+                workers=workers, telemetry=tele,
+            )
+            if aliased_asns:
+                moved = {
+                    addr for addr in clean_hits
+                    if bgp.origin_asn(addr) in aliased_asns
+                }
+                clean_hits -= moved
+                aliased_hits |= moved
+                tele.count("dealias.hits_moved_by_as_inspection", len(moved))
+    report = DealiasReport(
         aliased_prefixes=aliased_prefixes,
         aliased_asns=aliased_asns,
         aliased_hits=aliased_hits,
         clean_hits=clean_hits,
     )
+    if tele.enabled:
+        tele.count("dealias.hits_in", len(hit_set))
+        tele.count("dealias.aliased_hits", len(report.aliased_hits))
+        tele.count("dealias.clean_hits", len(report.clean_hits))
+        tele.event(
+            "dealias_summary",
+            {
+                "hits_in": len(hit_set),
+                "aliased_prefixes": len(report.aliased_prefixes),
+                "aliased_asns": sorted(report.aliased_asns),
+                "aliased_hits": len(report.aliased_hits),
+                "clean_hits": len(report.clean_hits),
+                "aliased_fraction": round(report.aliased_fraction(), 6),
+            },
+        )
+    return report

@@ -30,11 +30,14 @@ run.
 from __future__ import annotations
 
 import random
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from ..simnet.ground_truth import GroundTruth
+from ..telemetry.metrics import MetricsSnapshot
+from ..telemetry.spans import Telemetry, ensure
 from .blacklist import Blacklist
 from .probe import DEFAULT_PORT, ScanResult, ScanStats
 from .schedule import CyclicPermutation, mix64
@@ -92,6 +95,7 @@ class Scanner:
         loss_rate: float = 0.0,
         rng_seed: int | None = 0,
         config: ScanConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
@@ -99,6 +103,10 @@ class Scanner:
         self.blacklist = blacklist or Blacklist()
         self.loss_rate = loss_rate
         self.config = config or ScanConfig()
+        # Telemetry is strictly passive: it never draws from an RNG or
+        # reorders probes, so hits and stats are identical with it on
+        # or off (tests/test_telemetry.py enforces this).
+        self.telemetry = ensure(telemetry)
         self._rng = random.Random(rng_seed)
         self._rng_seed = rng_seed
         # Independent deterministic streams so single-probe callers
@@ -234,11 +242,43 @@ class Scanner:
             if shuffle and len(ordered) > 1
             else None
         )
-        if config.use_batched:
-            result = self._scan_batched(ordered, perm, loss_key, port, config)
-        else:
-            result = self._scan_reference(ordered, perm, loss_key, port)
+        tele = self.telemetry
+        with tele.span(
+            "scan", port=port, targets=len(ordered), workers=config.workers
+        ):
+            start = time.perf_counter()
+            if config.use_batched:
+                result = self._scan_batched(ordered, perm, loss_key, port, config)
+            else:
+                result = self._scan_reference(ordered, perm, loss_key, port)
+            elapsed = time.perf_counter() - start
         self.total_probes += result.stats.probes_sent
+        if tele.enabled:
+            tele.count("scan.runs")
+            tele.count("scan.targets", len(ordered))
+            tele.count("scan.hits", len(result.hits))
+            # One conversion from the final (parity-gated) stats for
+            # every execution path, so counter totals are identical for
+            # any batch size or worker count.
+            tele.merge_snapshot(scan_stats_snapshot(result.stats))
+            if elapsed > 0:
+                tele.gauge(
+                    "scan.probes_per_sec", result.stats.probes_sent / elapsed
+                )
+            tele.event(
+                "scan_summary",
+                {
+                    "port": port,
+                    "targets": len(ordered),
+                    "hits": len(result.hits),
+                    "probes_sent": result.stats.probes_sent,
+                    "blacklisted": result.stats.blacklisted,
+                    "dropped": result.stats.dropped,
+                    "hit_rate": round(result.stats.hit_rate, 6),
+                    "workers": config.workers,
+                    "seconds": round(elapsed, 6),
+                },
+            )
         return result
 
     def _scan_reference(
@@ -278,11 +318,13 @@ class Scanner:
             return self._scan_pool(ordered, perm, loss_key, port, config)
         stats = ScanStats()
         hits: set[int] = set()
+        tele = self.telemetry
         for batch in _iter_permuted_batches(ordered, perm, config.batch_size):
             _probe_batch(
                 self.truth, self.blacklist, self.loss_rate, loss_key,
                 port, batch, stats, hits,
             )
+            tele.count("scan.batches")
         return ScanResult(port=port, hits=hits, stats=stats)
 
     def _scan_pool(
@@ -303,6 +345,7 @@ class Scanner:
 
         stats = ScanStats()
         hits: set[int] = set()
+        tele = self.telemetry
         # Bound outstanding futures so huge target streams never
         # materialise as one giant pending-chunk queue.
         window = config.workers * 4
@@ -314,15 +357,36 @@ class Scanner:
             futures: deque = deque()
             for batch in _iter_permuted_batches(ordered, perm, config.batch_size):
                 futures.append(pool.submit(_pool_scan_chunk, batch))
+                tele.count("scan.batches")
                 if len(futures) >= window:
                     chunk_hits, chunk_stats = futures.popleft().result()
                     hits.update(chunk_hits)
                     stats.merge(chunk_stats)
+                    tele.count("scan.worker_merges")
             while futures:
                 chunk_hits, chunk_stats = futures.popleft().result()
                 hits.update(chunk_hits)
                 stats.merge(chunk_stats)
+                tele.count("scan.worker_merges")
         return ScanResult(port=port, hits=hits, stats=stats)
+
+
+def scan_stats_snapshot(stats: ScanStats) -> MetricsSnapshot:
+    """Express :class:`ScanStats` as a mergeable metrics snapshot.
+
+    Both types share the merge contract (order-independent sums), so a
+    per-shard ``ScanStats`` and its snapshot form stay interchangeable:
+    merging snapshots of shard stats equals the snapshot of merged
+    shard stats.
+    """
+    return MetricsSnapshot(
+        counters={
+            "scan.probes_sent": stats.probes_sent,
+            "scan.responses": stats.responses,
+            "scan.blacklisted": stats.blacklisted,
+            "scan.dropped": stats.dropped,
+        }
+    )
 
 
 def _iter_permuted_batches(

@@ -1,0 +1,89 @@
+"""Run manifests: make every telemetry file self-describing.
+
+A :class:`RunManifest` is the first event a run writes to its sink.
+It captures everything needed to re-run (or at least interpret) the
+run that produced a JSONL file: the command and its configuration,
+the RNG seed, the package version, and the platform.  ``repro
+report`` prints it back as the header of a run summary, and the delta
+view warns when two runs being compared differ in config or version.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .spans import Telemetry
+
+
+def _package_version() -> str:
+    try:
+        from .. import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - import cycle paranoia
+        return "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one instrumented run."""
+
+    command: str
+    config: dict = field(default_factory=dict)
+    rng_seed: int | None = None
+    version: str = ""
+    python: str = ""
+    platform: str = ""
+    started_unix: float = 0.0
+
+    @classmethod
+    def create(
+        cls,
+        command: str,
+        config: Mapping | None = None,
+        *,
+        rng_seed: int | None = None,
+    ) -> "RunManifest":
+        """Build a manifest for the current process and moment."""
+        return cls(
+            command=command,
+            config=dict(config or {}),
+            rng_seed=rng_seed,
+            version=_package_version(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            started_unix=time.time(),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "event": "manifest",
+            "command": self.command,
+            "config": dict(self.config),
+            "rng_seed": self.rng_seed,
+            "version": self.version,
+            "python": self.python,
+            "platform": self.platform,
+            "started_unix": self.started_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunManifest":
+        return cls(
+            command=str(data.get("command", "")),
+            config=dict(data.get("config", {})),
+            rng_seed=data.get("rng_seed"),
+            version=str(data.get("version", "")),
+            python=str(data.get("python", "")),
+            platform=str(data.get("platform", "")),
+            started_unix=float(data.get("started_unix", 0.0)),
+        )
+
+    def emit(self, telemetry: Telemetry) -> None:
+        """Write this manifest as the run's opening event."""
+        if telemetry.sink.enabled:
+            telemetry.sink.emit(self.as_dict())

@@ -1,0 +1,167 @@
+"""Telemetry run reports: summarise one JSONL run, diff two.
+
+``repro report RUN.jsonl`` renders the summary; ``repro report
+RUN.jsonl --against BASELINE.jsonl`` renders the delta view.  Both
+work from nothing but the JSONL file — the manifest event makes the
+file self-describing, so reports can be generated long after (and far
+away from) the run that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from .manifest import RunManifest
+from .metrics import MetricsSnapshot
+from .sinks import read_jsonl
+
+
+@dataclass
+class SpanSummary:
+    """Aggregated timings for one span path."""
+
+    path: str
+    count: int = 0
+    total_seconds: float = 0.0
+
+
+@dataclass
+class RunSummary:
+    """Everything a report needs from one telemetry JSONL file."""
+
+    path: str
+    manifest: RunManifest | None = None
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    spans: dict[str, SpanSummary] = field(default_factory=dict)
+    event_count: int = 0
+
+
+def load_run(path: str | os.PathLike) -> RunSummary:
+    """Parse a JsonlSink file into a :class:`RunSummary`.
+
+    ``metrics`` events merge (a multi-stage run may flush more than
+    once; counter totals stay correct because each flush is a snapshot
+    of the same registry — later flushes supersede earlier ones, so
+    the *last* snapshot wins rather than summing).  ``span`` events
+    aggregate by path.
+    """
+    summary = RunSummary(path=os.fspath(path))
+    for event in read_jsonl(path):
+        summary.event_count += 1
+        kind = event.get("event")
+        if kind == "manifest":
+            summary.manifest = RunManifest.from_dict(event)
+        elif kind == "metrics":
+            summary.metrics = MetricsSnapshot.from_dict(
+                event.get("snapshot", {})
+            )
+        elif kind == "span":
+            span_path = str(event.get("path", event.get("name", "?")))
+            span = summary.spans.setdefault(span_path, SpanSummary(span_path))
+            span.count += 1
+            span.total_seconds += float(event.get("seconds", 0.0))
+    return summary
+
+
+def _format_value(value: float | int) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.4f}"
+    return f"{int(value):,}"
+
+
+def render_summary(run: RunSummary) -> str:
+    """Human-readable summary table for one run."""
+    lines: list[str] = []
+    manifest = run.manifest
+    if manifest is not None:
+        lines.append(f"run: {manifest.command}  (repro {manifest.version}, "
+                     f"python {manifest.python})")
+        lines.append(f"platform: {manifest.platform}")
+        if manifest.rng_seed is not None:
+            lines.append(f"rng seed: {manifest.rng_seed}")
+        if manifest.config:
+            config = ", ".join(
+                f"{k}={v}" for k, v in sorted(manifest.config.items())
+            )
+            lines.append(f"config: {config}")
+    else:
+        lines.append(f"run: {run.path} (no manifest event)")
+    lines.append(f"events: {run.event_count}")
+    counters = run.metrics.counters
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<38} {'value':>14}")
+        for name in sorted(counters):
+            lines.append(f"{name:<38} {_format_value(counters[name]):>14}")
+    gauges = run.metrics.gauges
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<38} {'value':>14}")
+        for name in sorted(gauges):
+            lines.append(f"{name:<38} {_format_value(gauges[name]):>14}")
+    if run.spans:
+        lines.append("")
+        lines.append(f"{'span':<38} {'count':>7} {'total (s)':>11}")
+        for span_path in sorted(run.spans):
+            span = run.spans[span_path]
+            lines.append(
+                f"{span_path:<38} {span.count:>7} {span.total_seconds:>11.3f}"
+            )
+    return "\n".join(lines)
+
+
+def render_delta(run: RunSummary, baseline: RunSummary) -> str:
+    """Delta view: how ``run`` differs from ``baseline``.
+
+    Counters show absolute and relative change; spans show total-time
+    change.  Manifest mismatches (version, command, config) are called
+    out first — a hit-rate regression means nothing if the two runs
+    scanned different worlds.
+    """
+    lines: list[str] = [f"delta: {run.path} vs {baseline.path}"]
+    a, b = run.manifest, baseline.manifest
+    if a is not None and b is not None:
+        if a.command != b.command:
+            lines.append(f"! commands differ: {a.command} vs {b.command}")
+        if a.version != b.version:
+            lines.append(f"! versions differ: {a.version} vs {b.version}")
+        if a.config != b.config:
+            changed = sorted(
+                set(a.config) | set(b.config),
+            )
+            diffs = [
+                f"{key}: {b.config.get(key)!r} -> {a.config.get(key)!r}"
+                for key in changed
+                if a.config.get(key) != b.config.get(key)
+            ]
+            lines.append("! config differs: " + "; ".join(diffs))
+    names = sorted(set(run.metrics.counters) | set(baseline.metrics.counters))
+    if names:
+        lines.append("")
+        lines.append(f"{'counter':<38} {'run':>12} {'baseline':>12} {'delta':>12}")
+        for name in names:
+            now = run.metrics.counters.get(name, 0)
+            then = baseline.metrics.counters.get(name, 0)
+            delta = now - then
+            rel = f" ({delta / then:+.1%})" if then else ""
+            lines.append(
+                f"{name:<38} {_format_value(now):>12} "
+                f"{_format_value(then):>12} {_format_value(delta):>12}{rel}"
+            )
+    span_paths = sorted(set(run.spans) | set(baseline.spans))
+    if span_paths:
+        lines.append("")
+        lines.append(
+            f"{'span':<38} {'run (s)':>12} {'baseline (s)':>13} {'delta (s)':>12}"
+        )
+        for span_path in span_paths:
+            now_s = run.spans.get(span_path, SpanSummary(span_path)).total_seconds
+            then_s = baseline.spans.get(
+                span_path, SpanSummary(span_path)
+            ).total_seconds
+            lines.append(
+                f"{span_path:<38} {now_s:>12.3f} {then_s:>13.3f} "
+                f"{now_s - then_s:>12.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Shared wall-clock timing helpers.
+
+Every benchmark used to hand-roll the same ``time.perf_counter()``
+bracket; these helpers are that bracket, written once.  They are
+deliberately tiny — a context manager and two functional wrappers —
+so they stay usable from scripts that must not import numpy-heavy
+modules at timing granularity.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once; return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def median_time(fn: Callable[[], T], repeats: int) -> tuple[T, float]:
+    """Run ``fn`` ``repeats`` times; return the last result and the
+    median elapsed seconds (the benchmarks' standard statistic)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1: {repeats}")
+    timings = []
+    result: T
+    for _ in range(repeats):
+        result, elapsed = time_call(fn)
+        timings.append(elapsed)
+    return result, statistics.median(timings)

@@ -1,5 +1,7 @@
 """Tests for the repro6 command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -208,3 +210,122 @@ class TestExperimentRegistry:
         )
         assert result.returncode == 0
         assert "6gen" in result.stdout
+
+
+class TestOutputModes:
+    def test_6gen_json_single_line(self, seed_file, tmp_path, capsys):
+        out = tmp_path / "targets.txt"
+        assert main([
+            "6gen", str(seed_file), str(out), "--budget", "16", "--json",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        summary = json.loads(lines[0])
+        assert summary["command"] == "6gen"
+        assert summary["seeds"] == 8
+        assert summary["targets_written"] == 16
+        assert summary["budget_used"] <= summary["budget_limit"]
+
+    def test_6gen_quiet_silences_stdout(self, seed_file, tmp_path, capsys):
+        out = tmp_path / "targets.txt"
+        assert main([
+            "6gen", str(seed_file), str(out), "--budget", "16", "--quiet",
+        ]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_scan_and_dealias_json(self, tmp_path, capsys):
+        seeds_out = tmp_path / "seeds.txt"
+        world = tmp_path / "world.json"
+        main([
+            "simulate", "--scale", "0.05",
+            "--output", str(seeds_out), "--save-world", str(world),
+        ])
+        hits_out = tmp_path / "hits.txt"
+        capsys.readouterr()
+        assert main([
+            "scan", str(seeds_out), "--world", str(world),
+            "--output", str(hits_out), "--json",
+        ]) == 0
+        scan_summary = json.loads(capsys.readouterr().out.strip())
+        assert scan_summary["command"] == "scan"
+        assert scan_summary["hits"] > 0
+        assert scan_summary["probes_sent"] >= scan_summary["hits"]
+        assert main([
+            "dealias", str(hits_out), "--world", str(world), "--json",
+        ]) == 0
+        dealias_summary = json.loads(capsys.readouterr().out.strip())
+        assert dealias_summary["command"] == "dealias"
+        assert dealias_summary["hits_in"] == scan_summary["hits"]
+        assert (
+            dealias_summary["clean_hits"] + dealias_summary["aliased_hits"]
+            == dealias_summary["hits_in"]
+        )
+
+    def test_errors_still_reported_in_quiet_mode(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing\n")
+        out = tmp_path / "targets.txt"
+        assert main(["6gen", str(empty), str(out), "--quiet"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no seeds" in captured.err
+
+
+class TestTelemetryFlag:
+    def test_6gen_writes_telemetry_jsonl(self, seed_file, tmp_path):
+        from repro.telemetry import read_jsonl
+
+        out = tmp_path / "targets.txt"
+        run = tmp_path / "run.jsonl"
+        assert main([
+            "6gen", str(seed_file), str(out), "--budget", "16",
+            "--telemetry", str(run), "--quiet",
+        ]) == 0
+        events = read_jsonl(run)
+        assert events[0]["event"] == "manifest"
+        assert events[0]["command"] == "6gen"
+        assert events[-1]["event"] == "metrics"
+        counters = events[-1]["snapshot"]["counters"]
+        assert counters["sixgen.runs"] == 1
+        assert any(e["event"] == "sixgen_summary" for e in events)
+
+    def test_scan_telemetry_and_report(self, tmp_path, capsys):
+        seeds_out = tmp_path / "seeds.txt"
+        world = tmp_path / "world.json"
+        main([
+            "simulate", "--scale", "0.05",
+            "--output", str(seeds_out), "--save-world", str(world),
+        ])
+        run = tmp_path / "scan_run.jsonl"
+        assert main([
+            "scan", str(seeds_out), "--world", str(world),
+            "--telemetry", str(run), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        # the acceptance flow: repro report renders the JSONL summary
+        assert main(["report", str(run)]) == 0
+        text = capsys.readouterr().out
+        assert "run: scan" in text
+        assert "scan.probes_sent" in text
+        assert "span" in text
+
+    def test_report_delta_between_runs(self, seed_file, tmp_path, capsys):
+        runs = []
+        for i, budget in enumerate(("16", "8")):
+            out = tmp_path / f"targets{i}.txt"
+            run = tmp_path / f"run{i}.jsonl"
+            main([
+                "6gen", str(seed_file), str(out), "--budget", budget,
+                "--telemetry", str(run), "--quiet",
+            ])
+            runs.append(run)
+        capsys.readouterr()
+        assert main(["report", str(runs[1]), "--against", str(runs[0])]) == 0
+        text = capsys.readouterr().out
+        assert "delta:" in text
+        assert "! config differs" in text
+        assert "budget: 16 -> 8" in text
+
+    def test_report_missing_jsonl_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
