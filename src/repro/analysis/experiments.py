@@ -121,36 +121,76 @@ def run_full_scan(
     port: int = 80,
     scan_config: ScanConfig | None = None,
     telemetry: Telemetry | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 16,
+    crash=None,
 ) -> ScanOutcome:
     """Run 6Gen per routed prefix, scan one port, and dealias the hits.
 
     Targets stream straight from each prefix run into the scanner —
     the union set is never materialised.  ``scan_config`` selects the
-    scan execution strategy (batch size, worker processes); the result
-    is identical for every config, so callers tune it freely.
-    ``telemetry`` instruments all three stages (generation, scan,
-    dealiasing) under one ``full_scan`` span without changing any of
-    them.
+    scan execution strategy (batch size, worker processes, retry
+    rounds); the result is identical for every config, so callers tune
+    it freely.  ``telemetry`` instruments all three stages (generation,
+    scan, dealiasing) under one ``full_scan`` span without changing any
+    of them.
+
+    ``checkpoint_path`` streams campaign progress (per-prefix
+    generation events plus scan checkpoints) through a crash-safe
+    :class:`~repro.telemetry.sinks.JsonlSink`.  With ``resume=True``
+    the scan phase continues from the newest checkpoint in that file:
+    generation re-runs (it is deterministic and cheap relative to
+    probing) to rebuild the identical target stream, then the scan
+    replays its recorded keys from the recorded batch — finishing with
+    hits and stats bit-identical to an uninterrupted run.  ``crash``
+    (a :class:`~repro.faults.WorkerCrash`) is the deterministic kill
+    switch the resume-parity tests use.
     """
     tele = ensure(telemetry)
     if seed_addrs is None:
         groups = context.groups
     else:
         groups = group_by_routed_prefix(seed_addrs, context.internet.bgp)
-    with tele.span("full_scan", budget=budget, port=port):
-        run = run_per_prefix(groups, budget, loose=loose, telemetry=telemetry)
-        config = scan_config or ScanConfig()
-        scanner = Scanner(
-            context.internet.truth, config=config, telemetry=telemetry
-        )
-        scan = scanner.scan(run.iter_targets(), port=port)
-        if dealias_hits:
-            report = dealias(
-                scan.hits, scanner, context.internet.bgp, port=port,
-                workers=config.workers, telemetry=telemetry,
+    ckpt_sink = None
+    checkpointer = None
+    resume_state = None
+    if checkpoint_path is not None:
+        import os
+
+        from ..scanner.checkpoint import ScanCheckpointer, load_scan_checkpoint
+        from ..telemetry.sinks import JsonlSink
+
+        if resume and os.path.exists(checkpoint_path):
+            resume_state = load_scan_checkpoint(checkpoint_path)
+        ckpt_sink = JsonlSink(checkpoint_path)
+        checkpointer = ScanCheckpointer(ckpt_sink, every_batches=checkpoint_every)
+    elif resume:
+        raise ValueError("resume=True requires checkpoint_path")
+    try:
+        with tele.span("full_scan", budget=budget, port=port):
+            run = run_per_prefix(
+                groups, budget, loose=loose, telemetry=telemetry,
+                progress_sink=ckpt_sink,
             )
-        else:
-            report = DealiasReport(clean_hits=set(scan.hits))
+            config = scan_config or ScanConfig()
+            scanner = Scanner(
+                context.internet.truth, config=config, telemetry=telemetry
+            )
+            scan = scanner.scan(
+                run.iter_targets(), port=port,
+                checkpoint=checkpointer, resume=resume_state, crash=crash,
+            )
+            if dealias_hits:
+                report = dealias(
+                    scan.hits, scanner, context.internet.bgp, port=port,
+                    workers=config.workers, telemetry=telemetry,
+                )
+            else:
+                report = DealiasReport(clean_hits=set(scan.hits))
+    finally:
+        if ckpt_sink is not None:
+            ckpt_sink.close()
     return ScanOutcome(
         context=context,
         budget=budget,

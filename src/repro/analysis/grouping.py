@@ -53,9 +53,15 @@ class PrefixRun:
 
 @dataclass
 class MultiPrefixRun:
-    """6Gen outputs across all routed prefixes of one experiment."""
+    """6Gen outputs across all routed prefixes of one experiment.
+
+    ``failures`` maps prefixes whose 6Gen run raised (twice — every
+    failure is retried once) to a short error description; their
+    targets are simply absent from the campaign.
+    """
 
     runs: dict[Prefix, PrefixRun] = field(default_factory=dict)
+    failures: dict[Prefix, str] = field(default_factory=dict)
 
     def results(self) -> dict[Prefix, SixGenResult]:
         return {prefix: run.result for prefix, run in self.runs.items()}
@@ -115,6 +121,8 @@ def run_per_prefix(
     rng_seed: int | None = 0,
     processes: int | None = None,
     telemetry: Telemetry | None = None,
+    isolate_failures: bool = True,
+    progress_sink=None,
 ) -> MultiPrefixRun:
     """Run 6Gen on every routed prefix's seed group.
 
@@ -133,6 +141,16 @@ def run_per_prefix(
     per-run counters still aggregate (in the parent, from each
     returned result); only the in-process per-prefix ``sixgen`` spans
     are unavailable, since telemetry objects stay in the parent.
+
+    With ``isolate_failures`` (the default) a prefix whose 6Gen run
+    raises does not kill the campaign: the run is retried once
+    (deterministic inputs, so this only papers over environmental
+    faults like a killed pool worker), then recorded in
+    ``MultiPrefixRun.failures`` / telemetry and skipped with a
+    :class:`RuntimeWarning`.  ``progress_sink`` (an optional
+    :class:`~repro.telemetry.sinks.Sink`, e.g. a campaign checkpoint
+    file) receives one ``prefix_generated`` event per completed prefix
+    and one ``prefix_failed`` event per skipped prefix.
     """
     tele = ensure(telemetry)
     work = []
@@ -149,39 +167,86 @@ def run_per_prefix(
             from concurrent.futures import ProcessPoolExecutor
 
             # Seed-count distributions are heavy-tailed (Figure 4): a few
-            # prefixes dominate the runtime.  Submit largest-first with
-            # chunksize=1 so a giant prefix never queues behind a chunk of
-            # small ones at the tail of the pool — with the default
-            # (sorted-by-prefix, auto-chunked) layout the whole run waits on
-            # whichever worker happened to draw the biggest group last.
+            # prefixes dominate the runtime.  Submit largest-first (one
+            # future per prefix) so a giant prefix never queues behind a
+            # chunk of small ones at the tail of the pool — with the
+            # default (sorted-by-prefix, auto-chunked) layout the whole
+            # run waits on whichever worker happened to draw the biggest
+            # group last.  Per-prefix futures also isolate failures: one
+            # poisoned prefix surfaces from exactly its own future.
             work.sort(key=lambda item: (-len(item[1]), item[0]))
             with ProcessPoolExecutor(max_workers=processes) as pool:
-                for prefix, seeds, prefix_budget, result in pool.map(
-                    _run_one, work, chunksize=1
-                ):
+                futures = [(item, pool.submit(_run_one, item)) for item in work]
+                for item, future in futures:
+                    try:
+                        prefix, seeds, prefix_budget, result = future.result()
+                    except Exception:
+                        if not isolate_failures:
+                            raise
+                        # Retry once, in the parent — same args, same
+                        # seed, so a success is the run the worker
+                        # would have produced.
+                        tele.count("generate.prefix_retries")
+                        try:
+                            prefix, seeds, prefix_budget, result = _run_one(item)
+                        except Exception as exc2:
+                            _record_prefix_failure(
+                                tele, out, item[0], exc2, len(work),
+                                progress_sink,
+                            )
+                            continue
                     out.runs[prefix] = PrefixRun(
                         prefix=prefix, seeds=seeds, budget=prefix_budget,
                         result=result,
                     )
-                    _record_prefix_run(tele, out.runs[prefix], len(work))
+                    _record_prefix_run(
+                        tele, out.runs[prefix], len(work), progress_sink
+                    )
         else:
-            for prefix, seeds, prefix_budget, loose_, ledger_, seed_ in work:
-                result = run_6gen(
-                    seeds, prefix_budget, loose=loose_, ledger=ledger_,
-                    rng_seed=seed_, telemetry=telemetry,
-                )
+            for item in work:
+                prefix, seeds, prefix_budget, loose_, ledger_, seed_ = item
+                try:
+                    result = run_6gen(
+                        seeds, prefix_budget, loose=loose_, ledger=ledger_,
+                        rng_seed=seed_, telemetry=telemetry,
+                    )
+                except Exception:
+                    if not isolate_failures:
+                        raise
+                    tele.count("generate.prefix_retries")
+                    try:
+                        result = run_6gen(
+                            seeds, prefix_budget, loose=loose_, ledger=ledger_,
+                            rng_seed=seed_, telemetry=telemetry,
+                        )
+                    except Exception as exc2:
+                        _record_prefix_failure(
+                            tele, out, prefix, exc2, len(work), progress_sink
+                        )
+                        continue
                 out.runs[prefix] = PrefixRun(
                     prefix=prefix, seeds=seeds, budget=prefix_budget,
                     result=result,
                 )
-                _record_prefix_run(tele, out.runs[prefix], len(work))
+                _record_prefix_run(
+                    tele, out.runs[prefix], len(work), progress_sink
+                )
     return out
 
 
 def _record_prefix_run(
-    telemetry: Telemetry, run: PrefixRun, total: int
+    telemetry: Telemetry, run: PrefixRun, total: int, sink=None
 ) -> None:
     """Per-prefix progress accounting (no-op for null telemetry)."""
+    if sink is not None:
+        sink.emit(
+            {
+                "event": "prefix_generated",
+                "prefix": str(run.prefix),
+                "seeds": len(run.seeds),
+                "budget_used": run.result.budget_used,
+            }
+        )
     if not telemetry.enabled:
         return
     telemetry.count("generate.prefixes")
@@ -198,3 +263,33 @@ def _record_prefix_run(
             "total_prefixes": total,
         },
     )
+
+
+def _record_prefix_failure(
+    telemetry: Telemetry,
+    out: MultiPrefixRun,
+    prefix: Prefix,
+    exc: BaseException,
+    total: int,
+    sink=None,
+) -> None:
+    """Record a twice-failed prefix and warn; the campaign continues."""
+    import warnings
+
+    detail = f"{type(exc).__name__}: {exc}"
+    out.failures[prefix] = detail
+    warnings.warn(
+        f"6Gen failed twice for {prefix}; skipping its targets ({detail})",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    if sink is not None:
+        sink.emit(
+            {"event": "prefix_failed", "prefix": str(prefix), "error": detail}
+        )
+    if telemetry.enabled:
+        telemetry.count("generate.failed_prefixes")
+        telemetry.event(
+            "prefix_failed",
+            {"prefix": str(prefix), "error": detail, "total_prefixes": total},
+        )

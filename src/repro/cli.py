@@ -30,7 +30,7 @@ from .core.sixgen import run_6gen
 from .datasets.hitlist import read_hitlist_ints, write_hitlist
 from .entropyip.generator import run_entropy_ip
 from .scanner.dealias import dealias
-from .scanner.engine import Scanner
+from .scanner.engine import ScanConfig, Scanner
 from .simnet.dns import collect_seeds
 from .simnet.ground_truth import default_internet
 from .telemetry import JsonlSink, RunManifest, Telemetry
@@ -188,16 +188,53 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             "world": getattr(args, "world", None),
             "scale": args.scale,
             "world_seed": args.world_seed,
+            "retries": args.retries,
+            "resume": bool(args.resume),
         },
     )
+    # --resume CKPT continues from (and keeps appending to) that file;
+    # --checkpoint starts or continues recording without restoring.
+    ckpt_path = args.resume or args.checkpoint
+    resume_state = None
+    checkpointer = None
+    ckpt_sink = None
+    if args.resume:
+        import os
+
+        from .scanner.checkpoint import load_scan_checkpoint
+
+        if not os.path.exists(args.resume):
+            out.error(f"checkpoint not found: {args.resume}")
+            return 1
+        resume_state = load_scan_checkpoint(args.resume)
+        if resume_state is None:
+            out.say(f"no scan checkpoint in {args.resume}; starting fresh")
+    if ckpt_path:
+        from .scanner.checkpoint import ScanCheckpointer
+
+        ckpt_sink = JsonlSink(ckpt_path)
+        checkpointer = ScanCheckpointer(
+            ckpt_sink, every_batches=args.checkpoint_every
+        )
     try:
-        scanner = Scanner(internet.truth, telemetry=telemetry)
-        result = scanner.scan(targets, port=args.port)
+        config = ScanConfig(retries=args.retries, workers=args.workers)
+        scanner = Scanner(internet.truth, config=config, telemetry=telemetry)
+        result = scanner.scan(
+            targets, port=args.port,
+            checkpoint=checkpointer, resume=resume_state,
+        )
     finally:
+        if ckpt_sink is not None:
+            ckpt_sink.close()
         _close_telemetry(telemetry)
     out.say(f"targets: {len(targets)}")
     out.say(f"probes sent: {result.stats.probes_sent}")
+    if args.retries:
+        out.say(f"retransmits: {result.stats.retransmits} "
+                f"(over {args.retries} retry rounds)")
     out.say(f"hits: {result.hit_count()} (rate {result.stats.hit_rate:.2%})")
+    if ckpt_path:
+        out.say(f"checkpoint -> {ckpt_path}")
     if args.output:
         write_hitlist(args.output, result.hits, header=f"TCP/{args.port} hits")
         out.say(f"hits written -> {args.output}")
@@ -209,8 +246,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             "probes_sent": result.stats.probes_sent,
             "blacklisted": result.stats.blacklisted,
             "dropped": result.stats.dropped,
+            "retransmits": result.stats.retransmits,
+            "retries": args.retries,
+            "resumed": resume_state is not None,
             "hits": result.hit_count(),
             "hit_rate": round(result.stats.hit_rate, 6),
+            "checkpoint": str(ckpt_path) if ckpt_path else None,
             "output": str(args.output) if args.output else None,
         },
     )
@@ -562,6 +603,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("targets")
     p.add_argument("--output", help="write hits to this hitlist")
     p.add_argument("--port", type=int, default=80)
+    p.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-probe non-responders for up to N extra rounds "
+             "(0 = single pass; retransmissions are counted separately "
+             "from the probe budget)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the scan across this many worker processes",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="append crash-safe scan checkpoints to this JSONL file",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=16, metavar="BATCHES",
+        help="checkpoint cadence in merged batches (default: 16)",
+    )
+    p.add_argument(
+        "--resume", metavar="CKPT",
+        help="resume an interrupted scan from this checkpoint file "
+             "(same targets/port/retries required; continues appending "
+             "to the same file)",
+    )
     add_world_options(p)
     add_output_options(p)
     add_telemetry_option(p)

@@ -62,14 +62,32 @@ def expand_ranges(
     Ranges are expanded in the given order; overlapping ranges emit
     each address once.  With a ``limit``, expansion stops exactly there
     — pair with :func:`total_size` to check feasibility first.
+
+    Dedup memory is proportional to the *overlapping* portion of the
+    list only: a range whose nybble masks are disjoint from every other
+    range (the common case — 6Gen clusters rarely overlap) is streamed
+    through without recording its addresses, so a million-address
+    expansion of disjoint ranges runs in O(1) auxiliary memory instead
+    of holding every emitted address in a set.
     """
+    range_list = list(ranges)
+    # A range needs dedup tracking only if its masks intersect some
+    # other range's masks at every position (NybbleRange.overlaps).
+    overlapping = [
+        any(
+            i != j and range_.overlaps(other)
+            for j, other in enumerate(range_list)
+        )
+        for i, range_ in enumerate(range_list)
+    ]
     seen: set[int] = set()
     emitted = 0
-    for range_ in ranges:
+    for range_, tracked in zip(range_list, overlapping):
         for addr in range_.iter_ints():
-            if addr in seen:
-                continue
-            seen.add(addr)
+            if tracked:
+                if addr in seen:
+                    continue
+                seen.add(addr)
             yield addr
             emitted += 1
             if limit is not None and emitted >= limit:

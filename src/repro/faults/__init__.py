@@ -1,0 +1,35 @@
+"""Deterministic fault injection for scan campaigns.
+
+Real internet-wide campaigns (the paper's §6 run is ~5.8 B probes over
+~16 hours) see bursty packet loss, ICMPv6-style rate limiting, hosts
+that flap, and operational crashes.  This package models those faults
+over the simulated ground truth — deterministically.  Every fault
+verdict is a pure function of ``(seed, addr, attempt)`` via the same
+splitmix64 PRF family the scanner uses for probe loss, so a faulty
+campaign is exactly as bit-reproducible as a clean one: no RNG streams,
+no wall-clock state, no ordering sensitivity.
+"""
+
+from .ground import FaultyGroundTruth
+from .models import (
+    BurstyLoss,
+    CompositeFault,
+    FaultModel,
+    FlakyHosts,
+    InjectedWorkerCrash,
+    RateLimiter,
+    WorkerCrash,
+    compose,
+)
+
+__all__ = [
+    "BurstyLoss",
+    "CompositeFault",
+    "FaultModel",
+    "FaultyGroundTruth",
+    "FlakyHosts",
+    "InjectedWorkerCrash",
+    "RateLimiter",
+    "WorkerCrash",
+    "compose",
+]

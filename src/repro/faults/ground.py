@@ -1,0 +1,51 @@
+"""A ground truth wrapped in deterministic fault models.
+
+:class:`FaultyGroundTruth` interposes a :class:`~repro.faults.models.
+FaultModel` in front of an existing :class:`~repro.simnet.ground_truth.
+GroundTruth`: a probe first survives the fault layer (or not), and only
+survivors consult the underlying oracle.  It *is* a ``GroundTruth`` —
+it shares the base instance's host tables and aliased regions rather
+than copying them — so it drops into the scanner, the dealiaser, and
+the experiment harness unchanged, and it pickles into pool workers like
+any other truth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..simnet.ground_truth import GroundTruth
+from .models import FaultModel
+
+
+class FaultyGroundTruth(GroundTruth):
+    """``GroundTruth`` overlay that loses probes per a fault model.
+
+    The overlay shares (not copies) the base truth's internals, so
+    host mutations through either object stay in sync.  Fault verdicts
+    are pure functions of ``(seed, addr, attempt)`` — see
+    :mod:`repro.faults.models` — which keeps faulty scans exactly as
+    reproducible and order-independent as clean ones.
+    """
+
+    def __init__(self, base: GroundTruth, fault: FaultModel):
+        super().__init__(base._hosts_by_port, base.aliased)
+        self.base = base
+        self.fault = fault
+
+    def is_responsive(self, addr: int, port: int = 80, attempt: int = 0) -> bool:
+        value = int(addr)
+        if self.fault.drops(value, port, attempt):
+            return False
+        return super().is_responsive(value, port)
+
+    def responsive_many(
+        self, addrs: Iterable[int], port: int = 80, attempt: int = 0
+    ) -> list[bool]:
+        addrs = [int(a) for a in addrs]
+        dropped = self.fault.drops_many(addrs, port, attempt)
+        survivors = [a for a, lost in zip(addrs, dropped) if not lost]
+        verdicts = iter(
+            super().responsive_many(survivors, port) if survivors else ()
+        )
+        return [False if lost else next(verdicts) for lost in dropped]

@@ -1,6 +1,12 @@
 """Simulated scan engine, blacklist, and §6.2 dealiasing pipeline."""
 
 from .blacklist import Blacklist
+from .checkpoint import (
+    ResumeState,
+    ScanCheckpointer,
+    load_scan_checkpoint,
+    target_digest,
+)
 from .dealias import (
     AliasedSummary,
     DealiasReport,
@@ -23,11 +29,15 @@ __all__ = [
     "AliasedSummary",
     "DealiasReport",
     "Probe",
+    "ResumeState",
+    "ScanCheckpointer",
     "ScanConfig",
     "ScanResult",
     "ScanStats",
     "Scanner",
     "batched",
+    "load_scan_checkpoint",
+    "target_digest",
     "interleave_by_network",
     "max_burst",
     "as_level_inspection",

@@ -25,6 +25,28 @@ shared permutation and scan-time probe loss is a pure function of
 ``(scan key, address)`` rather than a draw from a sequential RNG
 stream.  ``benchmarks/bench_scan.py`` enforces the parity on every
 run.
+
+Robustness extensions (all default-off, all parity-preserving):
+
+* **Retries** (:attr:`ScanConfig.retries`): after the first pass,
+  non-responding, non-blacklisted targets are re-probed for up to
+  ``retries`` extra rounds.  Round ``r`` keys the loss PRF with
+  ``mix64(loss_key + r)`` (round 0 keeps the raw ``loss_key``, so
+  ``retries=0`` output is bit-identical to a scanner without the
+  feature) and passes ``attempt=r`` to the ground truth so fault
+  models (:mod:`repro.faults`) see the retransmission number.
+  Retransmissions are tallied in ``ScanStats.retransmits``, never in
+  ``probes_sent`` — budgets stay first-attempt budgets.
+* **Checkpoint/resume** (:meth:`Scanner.scan` ``checkpoint=`` /
+  ``resume=``): progress streams through a crash-safe
+  :class:`~repro.scanner.checkpoint.ScanCheckpointer`; a resumed scan
+  replays the recorded keys over the same target stream and finishes
+  with hits and stats identical to an uninterrupted run (see
+  :mod:`repro.scanner.checkpoint` for the argument).
+* **Crash injection** (``crash=``): a
+  :class:`~repro.faults.WorkerCrash` spec raises at a chosen batch,
+  in-process or inside a pool worker — the test hook behind the
+  resume-parity CI job.
 """
 
 from __future__ import annotations
@@ -33,7 +55,7 @@ import random
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..simnet.ground_truth import GroundTruth
 from ..telemetry.metrics import MetricsSnapshot
@@ -41,6 +63,10 @@ from ..telemetry.spans import Telemetry, ensure
 from .blacklist import Blacklist
 from .probe import DEFAULT_PORT, ScanResult, ScanStats
 from .schedule import CyclicPermutation, mix64
+
+if TYPE_CHECKING:  # import cycles avoided: these are type-only
+    from ..faults.models import WorkerCrash
+    from .checkpoint import ResumeState, ScanCheckpointer
 
 _M64 = (1 << 64) - 1
 #: Domain-separation constants for the keys derived from ``rng_seed``.
@@ -61,6 +87,18 @@ def _loss_prf(key: int, addr: int) -> float:
     return h / 18446744073709551616.0  # 2**64
 
 
+def _round_key(loss_key: int, round_: int) -> int:
+    """Loss-PRF key for one scan round.
+
+    Round 0 uses the raw scan loss key — this is load-bearing for
+    parity: a ``retries=0`` scan must consume exactly the key material
+    a pre-retry scanner did.  Retry rounds re-key with the round
+    number, mirroring ``probe_many``'s per-attempt scheme, so each
+    retransmission is an independent loss draw.
+    """
+    return loss_key if round_ == 0 else mix64(loss_key + round_)
+
+
 @dataclass(frozen=True)
 class ScanConfig:
     """Execution parameters for :meth:`Scanner.scan`.
@@ -76,12 +114,28 @@ class ScanConfig:
     batch_size: int = 4096
     workers: int = 1
     use_batched: bool = True
+    #: Extra probe rounds for non-responders (0 = single-pass, the
+    #: pre-retry behaviour, bit-identical output).
+    retries: int = 0
+    #: Virtual seconds waited between retry rounds.  The simulator has
+    #: no wall clock, so this is operational bookkeeping only: it is
+    #: reported through telemetry (``scan_summary.backoff_seconds``)
+    #: and never changes probe outcomes — retries already land in
+    #: fresh rate-limiter windows because the attempt number keys the
+    #: fault PRFs.
+    retry_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive: {self.batch_size}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0: {self.retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0: {self.retry_backoff}"
+            )
 
 
 class Scanner:
@@ -151,6 +205,8 @@ class Scanner:
         blacklist verdict cannot change between attempts — and are
         counted once in ``stats`` when given.
         """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1: {attempts}")
         if self.blacklist.contains(addr):
             if stats is not None:
                 stats.blacklisted += 1
@@ -172,7 +228,13 @@ class Scanner:
         ``(rng_seed, address, attempt)``, and ground-truth lookups are
         batched.  Addresses that respond stop retrying; the rest get up
         to ``attempts`` rounds.
+
+        ``stats.probes_sent`` counts every attempt (the dealiasing
+        prober has always budgeted per-attempt); attempts after the
+        first are *additionally* tallied in ``stats.retransmits``.
         """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1: {attempts}")
         addrs = [int(a) for a in addrs]
         results = [False] * len(addrs)
         if self.blacklist:
@@ -190,6 +252,8 @@ class Scanner:
             self.total_probes += len(batch)
             if stats is not None:
                 stats.probes_sent += len(batch)
+                if attempt > 0:
+                    stats.retransmits += len(batch)
             if loss:
                 attempt_key = mix64(self._probe_key + attempt)
                 kept = []
@@ -203,7 +267,7 @@ class Scanner:
                 kept = pending
             if kept:
                 flags = self.truth.responsive_many(
-                    [addrs[i] for i in kept], port
+                    [addrs[i] for i in kept], port, attempt=attempt
                 )
                 for i, responded in zip(kept, flags):
                     if responded:
@@ -220,39 +284,110 @@ class Scanner:
         port: int = DEFAULT_PORT,
         *,
         shuffle: bool = True,
+        checkpoint: "ScanCheckpointer | None" = None,
+        resume: "ResumeState | None" = None,
+        crash: "WorkerCrash | None" = None,
     ) -> ScanResult:
-        """Probe each distinct target once; collect responsive addresses.
+        """Probe each distinct target; collect responsive addresses.
 
         Targets may be any iterable (a generator streams straight in);
         they are deduplicated preserving first-seen order, which keeps
         probe order — and therefore loss outcomes — deterministic for a
         fixed ``rng_seed`` regardless of CPython build (a plain
         ``set`` dedupe does not guarantee that).
+
+        ``checkpoint`` streams progress through a
+        :class:`~repro.scanner.checkpoint.ScanCheckpointer`;
+        ``resume`` replays a loaded
+        :class:`~repro.scanner.checkpoint.ResumeState` (the caller must
+        supply the same target stream, port, and retry budget — this is
+        verified against the recorded digest).  ``crash`` arms a
+        :class:`~repro.faults.WorkerCrash` fault, the deterministic
+        kill switch the resume-parity tests use.  All three require the
+        batched path.
         """
         config = self.config
         ordered = list(dict.fromkeys(int(t) for t in targets))
         if not shuffle:
             ordered.sort()
         # Both paths draw the same keys in the same order so reference
-        # and batched scans consume _order_rng identically.
+        # and batched scans consume _order_rng identically — and a
+        # resumed scan still draws them (then discards them in favour
+        # of the recorded keys) so later scans on this Scanner see an
+        # unshifted key stream.
         perm_key = self._order_rng.getrandbits(64)
         loss_key = self._order_rng.getrandbits(64)
+        if (checkpoint or resume or crash) and not config.use_batched:
+            raise ValueError(
+                "checkpoint/resume/crash-injection require the batched "
+                "scan path (use_batched=True)"
+            )
+        digest = None
+        if checkpoint is not None or resume is not None:
+            from .checkpoint import target_digest
+
+            digest = target_digest(ordered)
+        if resume is not None:
+            if (
+                resume.digest != digest
+                or resume.target_count != len(ordered)
+                or resume.port != port
+                or resume.retries != config.retries
+            ):
+                raise ValueError(
+                    "checkpoint does not match this scan "
+                    f"(targets={len(ordered)}/{resume.target_count}, "
+                    f"port={port}/{resume.port}, "
+                    f"retries={config.retries}/{resume.retries}, "
+                    "digest "
+                    + ("ok)" if resume.digest == digest else "MISMATCH)")
+                )
+            perm_key, loss_key = resume.perm_key, resume.loss_key
+            if resume.complete:
+                # The recorded run already finished — hand back its
+                # result without re-probing (or re-counting probes).
+                if self.telemetry.enabled:
+                    self.telemetry.count("scan.resumed_complete")
+                return ScanResult(
+                    port=port, hits=set(resume.hits), stats=resume.stats.copy()
+                )
         perm = (
             CyclicPermutation(len(ordered), perm_key)
             if shuffle and len(ordered) > 1
             else None
         )
+        if checkpoint is not None:
+            checkpoint.begin(
+                perm_key=perm_key,
+                loss_key=loss_key,
+                targets=len(ordered),
+                digest=digest,
+                port=port,
+                retries=config.retries,
+            )
+            if resume is not None:
+                # Make the file self-contained from this scan_begin on,
+                # so a resumed run can itself be resumed.
+                checkpoint.baseline(
+                    round_=resume.round,
+                    next_batch=resume.next_batch,
+                    stats=resume.stats,
+                    hits=resume.hits,
+                )
         tele = self.telemetry
         with tele.span(
             "scan", port=port, targets=len(ordered), workers=config.workers
         ):
             start = time.perf_counter()
             if config.use_batched:
-                result = self._scan_batched(ordered, perm, loss_key, port, config)
+                result = self._scan_batched(
+                    ordered, perm, loss_key, port, config,
+                    checkpoint=checkpoint, resume=resume, crash=crash,
+                )
             else:
-                result = self._scan_reference(ordered, perm, loss_key, port)
+                result = self._scan_reference(ordered, perm, loss_key, port, config)
             elapsed = time.perf_counter() - start
-        self.total_probes += result.stats.probes_sent
+        self.total_probes += result.stats.probes_sent + result.stats.retransmits
         if tele.enabled:
             tele.count("scan.runs")
             tele.count("scan.targets", len(ordered))
@@ -274,6 +409,11 @@ class Scanner:
                     "probes_sent": result.stats.probes_sent,
                     "blacklisted": result.stats.blacklisted,
                     "dropped": result.stats.dropped,
+                    "retransmits": result.stats.retransmits,
+                    "retries": config.retries,
+                    "backoff_seconds": round(
+                        config.retry_backoff * config.retries, 6
+                    ),
                     "hit_rate": round(result.stats.hit_rate, 6),
                     "workers": config.workers,
                     "seconds": round(elapsed, 6),
@@ -287,8 +427,10 @@ class Scanner:
         perm: CyclicPermutation | None,
         loss_key: int,
         port: int,
+        config: ScanConfig | None = None,
     ) -> ScanResult:
         """Per-address loop: the readable spec the batched path must match."""
+        config = config or self.config
         stats = ScanStats()
         hits: set[int] = set()
         loss = self.loss_rate
@@ -304,6 +446,28 @@ class Scanner:
             if self.truth.is_responsive(addr, port):
                 stats.responses += 1
                 hits.add(addr)
+        # Retry rounds: re-walk the permuted order, skipping responders
+        # and blacklisted targets.  Blacklist verdicts are not
+        # re-counted (the verdict cannot change between rounds).
+        for round_ in range(1, config.retries + 1):
+            key = _round_key(loss_key, round_)
+            pending_seen = False
+            for index in range(len(ordered)):
+                addr = (
+                    ordered[perm(index)] if perm is not None else ordered[index]
+                )
+                if addr in hits or self.blacklist.contains(addr):
+                    continue
+                pending_seen = True
+                stats.retransmits += 1
+                if loss and _loss_prf(key, addr) < loss:
+                    stats.dropped += 1
+                    continue
+                if self.truth.is_responsive(addr, port, attempt=round_):
+                    stats.responses += 1
+                    hits.add(addr)
+            if not pending_seen:
+                break
         return ScanResult(port=port, hits=hits, stats=stats)
 
     def _scan_batched(
@@ -313,19 +477,98 @@ class Scanner:
         loss_key: int,
         port: int,
         config: ScanConfig,
+        *,
+        checkpoint: "ScanCheckpointer | None" = None,
+        resume: "ResumeState | None" = None,
+        crash: "WorkerCrash | None" = None,
     ) -> ScanResult:
-        if config.workers > 1 and len(ordered) > config.batch_size:
-            return self._scan_pool(ordered, perm, loss_key, port, config)
-        stats = ScanStats()
-        hits: set[int] = set()
+        if resume is not None:
+            stats = resume.stats.copy()
+            hits = set(resume.hits)
+            start_round, start_batch = resume.round, resume.next_batch
+        else:
+            stats = ScanStats()
+            hits = set()
+            start_round, start_batch = 0, 0
         tele = self.telemetry
-        for batch in _iter_permuted_batches(ordered, perm, config.batch_size):
-            _probe_batch(
-                self.truth, self.blacklist, self.loss_rate, loss_key,
-                port, batch, stats, hits,
-            )
-            tele.count("scan.batches")
+        if start_round == 0:
+            if config.workers > 1 and len(ordered) > config.batch_size:
+                self._scan_pool(
+                    ordered, perm, loss_key, port, config, stats, hits,
+                    checkpoint=checkpoint, start_batch=start_batch, crash=crash,
+                )
+            else:
+                for index, batch in _iter_permuted_batches(
+                    ordered, perm, config.batch_size, start_batch
+                ):
+                    if crash is not None:
+                        crash.check(0, index)
+                    new_hits = _probe_batch(
+                        self.truth, self.blacklist, self.loss_rate, loss_key,
+                        port, batch, stats, hits,
+                    )
+                    tele.count("scan.batches")
+                    if checkpoint is not None:
+                        checkpoint.note_batch(new_hits)
+                        checkpoint.checkpoint(0, index + 1, stats)
+            start_round = 1
+        # Retry rounds always run in-process: the pending set is a
+        # shrinking fraction of the target list, and every verdict is
+        # the same pure function a pool worker would compute.
+        # Checkpoints for retry rounds land only on round boundaries —
+        # the pending set is derived from the hits at round start, so a
+        # boundary checkpoint is exactly recomputable on resume.
+        for round_ in range(start_round, config.retries + 1):
+            pending = self._pending_targets(ordered, perm, hits, config)
+            if not pending:
+                break
+            key = _round_key(loss_key, round_)
+            if tele.enabled:
+                tele.count("scan.retry_rounds")
+            for index, start in enumerate(
+                range(0, len(pending), config.batch_size)
+            ):
+                if crash is not None:
+                    crash.check(round_, index)
+                chunk = pending[start : start + config.batch_size]
+                new_hits = _retry_batch(
+                    self.truth, self.loss_rate, key, round_, port,
+                    chunk, stats, hits,
+                )
+                tele.count("scan.batches")
+                if checkpoint is not None:
+                    checkpoint.note_batch(new_hits)
+            if checkpoint is not None and round_ < config.retries:
+                checkpoint.checkpoint(round_ + 1, 0, stats, force=True)
+        if checkpoint is not None:
+            checkpoint.complete(stats=stats)
         return ScanResult(port=port, hits=hits, stats=stats)
+
+    def _pending_targets(
+        self,
+        ordered: list[int],
+        perm: CyclicPermutation | None,
+        hits: set[int],
+        config: ScanConfig,
+    ) -> list[int]:
+        """Non-responding, non-blacklisted targets, in permuted order.
+
+        Pure function of (target list, permutation, hits) — the
+        property that lets a resumed run rebuild exactly the pending
+        set an uninterrupted run would carry into a retry round.
+        """
+        pending: list[int] = []
+        for _, batch in _iter_permuted_batches(ordered, perm, config.batch_size):
+            if self.blacklist:
+                flags = self.blacklist.contains_many(batch)
+                pending.extend(
+                    a
+                    for a, flagged in zip(batch, flags)
+                    if not flagged and a not in hits
+                )
+            else:
+                pending.extend(a for a in batch if a not in hits)
+        return pending
 
     def _scan_pool(
         self,
@@ -334,17 +577,23 @@ class Scanner:
         loss_key: int,
         port: int,
         config: ScanConfig,
-    ) -> ScanResult:
+        stats: ScanStats,
+        hits: set[int],
+        *,
+        checkpoint: "ScanCheckpointer | None" = None,
+        start_batch: int = 0,
+        crash: "WorkerCrash | None" = None,
+    ) -> None:
         """Shard permuted chunks across a process pool and merge stats.
 
         Every counter is an order-independent sum and the loss PRF is a
         pure function of the address, so the merged result is identical
-        to the in-process batched (and reference) scan.
+        to the in-process batched (and reference) scan.  Futures are
+        merged in submission order, so checkpointed progress is always
+        a contiguous batch prefix — the invariant resume relies on.
         """
         from concurrent.futures import ProcessPoolExecutor
 
-        stats = ScanStats()
-        hits: set[int] = set()
         tele = self.telemetry
         # Bound outstanding futures so huge target streams never
         # materialise as one giant pending-chunk queue.
@@ -352,23 +601,31 @@ class Scanner:
         with ProcessPoolExecutor(
             max_workers=config.workers,
             initializer=_pool_init,
-            initargs=(self.truth, self.blacklist, self.loss_rate, loss_key, port),
+            initargs=(
+                self.truth, self.blacklist, self.loss_rate, loss_key,
+                port, crash,
+            ),
         ) as pool:
             futures: deque = deque()
-            for batch in _iter_permuted_batches(ordered, perm, config.batch_size):
-                futures.append(pool.submit(_pool_scan_chunk, batch))
-                tele.count("scan.batches")
-                if len(futures) >= window:
-                    chunk_hits, chunk_stats = futures.popleft().result()
-                    hits.update(chunk_hits)
-                    stats.merge(chunk_stats)
-                    tele.count("scan.worker_merges")
-            while futures:
-                chunk_hits, chunk_stats = futures.popleft().result()
+
+            def merge_one() -> None:
+                index, chunk_hits, chunk_stats = futures.popleft().result()
                 hits.update(chunk_hits)
                 stats.merge(chunk_stats)
                 tele.count("scan.worker_merges")
-        return ScanResult(port=port, hits=hits, stats=stats)
+                if checkpoint is not None:
+                    checkpoint.note_batch(chunk_hits)
+                    checkpoint.checkpoint(0, index + 1, stats)
+
+            for index, batch in _iter_permuted_batches(
+                ordered, perm, config.batch_size, start_batch
+            ):
+                futures.append(pool.submit(_pool_scan_chunk, index, batch))
+                tele.count("scan.batches")
+                if len(futures) >= window:
+                    merge_one()
+            while futures:
+                merge_one()
 
 
 def scan_stats_snapshot(stats: ScanStats) -> MetricsSnapshot:
@@ -385,6 +642,7 @@ def scan_stats_snapshot(stats: ScanStats) -> MetricsSnapshot:
             "scan.responses": stats.responses,
             "scan.blacklisted": stats.blacklisted,
             "scan.dropped": stats.dropped,
+            "scan.retransmits": stats.retransmits,
         }
     )
 
@@ -393,16 +651,21 @@ def _iter_permuted_batches(
     ordered: list[int],
     perm: CyclicPermutation | None,
     batch_size: int,
-) -> Iterator[list[int]]:
-    """Yield the target list in permuted order, one chunk at a time."""
+    start_batch: int = 0,
+) -> Iterator[tuple[int, list[int]]]:
+    """Yield ``(batch_index, chunk)`` in permuted order.
+
+    ``start_batch`` skips already-completed batches without computing
+    their permutations — the resume fast-forward.
+    """
     n = len(ordered)
-    if perm is None:
-        for start in range(0, n, batch_size):
-            yield ordered[start : start + batch_size]
-        return
-    for start in range(0, n, batch_size):
-        indices = perm.permute_range(start, min(start + batch_size, n))
-        yield [ordered[j] for j in indices]
+    for start in range(start_batch * batch_size, n, batch_size):
+        index = start // batch_size
+        if perm is None:
+            yield index, ordered[start : start + batch_size]
+        else:
+            indices = perm.permute_range(start, min(start + batch_size, n))
+            yield index, [ordered[j] for j in indices]
 
 
 def _probe_batch(
@@ -414,8 +677,11 @@ def _probe_batch(
     batch: list[int],
     stats: ScanStats,
     hits: set[int],
-) -> None:
-    """Probe one chunk with batched blacklist / loss / truth lookups."""
+) -> list[int]:
+    """Probe one chunk with batched blacklist / loss / truth lookups.
+
+    Returns the chunk's responsive addresses (the checkpoint delta).
+    """
     if blacklist:
         flags = blacklist.contains_many(batch)
         allowed = [a for a, flagged in zip(batch, flags) if not flagged]
@@ -432,11 +698,48 @@ def _probe_batch(
                 kept.append(a)
     else:
         kept = allowed
+    responsive: list[int] = []
     if kept:
         flags = truth.responsive_many(kept, port)
         responsive = [a for a, responded in zip(kept, flags) if responded]
         stats.responses += len(responsive)
         hits.update(responsive)
+    return responsive
+
+
+def _retry_batch(
+    truth: GroundTruth,
+    loss_rate: float,
+    round_key: int,
+    round_: int,
+    port: int,
+    batch: list[int],
+    stats: ScanStats,
+    hits: set[int],
+) -> list[int]:
+    """One retry round's worth of probes for a pending chunk.
+
+    The chunk is pre-filtered (no blacklisted, no responders), so only
+    loss and ground truth apply; probes count as retransmits.  Returns
+    the newly responsive addresses.
+    """
+    stats.retransmits += len(batch)
+    if loss_rate:
+        kept = []
+        for a in batch:
+            if _loss_prf(round_key, a) < loss_rate:
+                stats.dropped += 1
+            else:
+                kept.append(a)
+    else:
+        kept = batch
+    responsive: list[int] = []
+    if kept:
+        flags = truth.responsive_many(kept, port, attempt=round_)
+        responsive = [a for a, responded in zip(kept, flags) if responded]
+        stats.responses += len(responsive)
+        hits.update(responsive)
+    return responsive
 
 
 #: Per-process state for scan-pool workers (set by the initializer).
@@ -449,13 +752,20 @@ def _pool_init(
     loss_rate: float,
     loss_key: int,
     port: int,
+    crash=None,
 ) -> None:
-    _POOL_STATE["args"] = (truth, blacklist, loss_rate, loss_key, port)
+    _POOL_STATE["args"] = (truth, blacklist, loss_rate, loss_key, port, crash)
 
 
-def _pool_scan_chunk(batch: list[int]) -> tuple[list[int], ScanStats]:
-    truth, blacklist, loss_rate, loss_key, port = _POOL_STATE["args"]
+def _pool_scan_chunk(
+    index: int, batch: list[int]
+) -> tuple[int, list[int], ScanStats]:
+    truth, blacklist, loss_rate, loss_key, port, crash = _POOL_STATE["args"]
+    if crash is not None:
+        crash.check(0, index)
     stats = ScanStats()
     hits: set[int] = set()
-    _probe_batch(truth, blacklist, loss_rate, loss_key, port, batch, stats, hits)
-    return list(hits), stats
+    responsive = _probe_batch(
+        truth, blacklist, loss_rate, loss_key, port, batch, stats, hits
+    )
+    return index, responsive, stats

@@ -28,16 +28,25 @@ DEFAULT_PROBE_RATE_PPS = 100_000
 
 @dataclass
 class ScanStats:
-    """Counters for one scan: probes sent, responses, drops.
+    """Counters for one scan: probes sent, responses, drops, retries.
 
     Every field is an order-independent sum, so per-chunk stats from
     sharded scan workers merge into exactly the sequential totals.
+    ``probes_sent`` counts first-attempt probes only; retransmissions
+    are tallied separately in ``retransmits`` so retry-enabled runs
+    stay comparable (probe budgets are first-attempt budgets) while
+    the true on-the-wire volume is ``probes_sent + retransmits``.
     """
 
     probes_sent: int = 0
     responses: int = 0
     blacklisted: int = 0
     dropped: int = 0
+    retransmits: int = 0
+
+    #: Field order for serialisation; kept explicit so checkpoint files
+    #: stay stable if dataclass field order ever changes.
+    FIELDS = ("probes_sent", "responses", "blacklisted", "dropped", "retransmits")
 
     def merge(self, other: "ScanStats") -> "ScanStats":
         """Fold another scan's counters into this one (returns self)."""
@@ -45,7 +54,20 @@ class ScanStats:
         self.responses += other.responses
         self.blacklisted += other.blacklisted
         self.dropped += other.dropped
+        self.retransmits += other.retransmits
         return self
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready counter mapping (checkpoint / telemetry payloads)."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScanStats":
+        """Rebuild from :meth:`as_dict` output; absent keys default to 0."""
+        return cls(**{name: int(payload.get(name, 0)) for name in cls.FIELDS})
+
+    def copy(self) -> "ScanStats":
+        return ScanStats(**self.as_dict())
 
     @property
     def hit_rate(self) -> float:

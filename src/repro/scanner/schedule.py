@@ -128,7 +128,11 @@ def interleave_by_network(
     """
     rng = random.Random(rng_seed)
     groups: dict[Prefix | None, list[int]] = defaultdict(list)
-    for addr in {int(t) for t in targets}:
+    # dict.fromkeys, not a set: set iteration order varies with hash
+    # randomisation / CPython build, which would leak into each group's
+    # pre-shuffle order and break cross-run determinism (the same
+    # footgun Scanner.scan's dedupe fixed).
+    for addr in dict.fromkeys(int(t) for t in targets):
         route = bgp.lookup(addr)
         groups[route.prefix if route else None].append(addr)
     queues = []

@@ -120,7 +120,14 @@ class GroundTruth:
             hosts.discard(int(addr))
         self._all_hosts = None
 
-    def is_responsive(self, addr: int, port: int = 80) -> bool:
+    def is_responsive(self, addr: int, port: int = 80, attempt: int = 0) -> bool:
+        """Would one probe to ``addr``/``port`` get a response?
+
+        ``attempt`` is the retransmission number.  The pristine ground
+        truth ignores it (a host either exists or it does not); fault
+        overlays (:class:`repro.faults.FaultyGroundTruth`) key
+        per-probe drop decisions on it.
+        """
         value = int(addr)
         if port == ICMPV6:
             if value in self._ping_targets():
@@ -131,13 +138,16 @@ class GroundTruth:
             return True
         return self.aliased.responds(value, port)
 
-    def responsive_many(self, addrs: Iterable[int], port: int = 80) -> list[bool]:
+    def responsive_many(
+        self, addrs: Iterable[int], port: int = 80, attempt: int = 0
+    ) -> list[bool]:
         """Batched :meth:`is_responsive` over a chunk of addresses.
 
         Host membership is resolved with one set intersection for the
         whole chunk; only the misses fall through to the aliased-region
         batch lookup (which caches recent /64 decisions).  Returns one
-        flag per address, in input order.
+        flag per address, in input order.  ``attempt`` is ignored here
+        and honoured by fault overlays, as in :meth:`is_responsive`.
         """
         addrs = [int(a) for a in addrs]
         if port == ICMPV6:

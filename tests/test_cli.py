@@ -329,3 +329,47 @@ class TestTelemetryFlag:
     def test_report_missing_jsonl_fails(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestScanRetryResumeFlags:
+    def test_retries_flag_reported(self, tmp_path, capsys):
+        seeds_out = tmp_path / "seeds.txt"
+        assert main(["simulate", "--scale", "0.05", "--output", str(seeds_out)]) == 0
+        assert main([
+            "scan", str(seeds_out), "--scale", "0.05", "--retries", "2", "--json"
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert payload["retries"] == 2
+        assert payload["resumed"] is False
+        assert "retransmits" in payload
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        seeds_out = tmp_path / "seeds.txt"
+        assert main(["simulate", "--scale", "0.05", "--output", str(seeds_out)]) == 0
+        ckpt = tmp_path / "scan.ckpt"
+
+        assert main([
+            "scan", str(seeds_out), "--scale", "0.05",
+            "--checkpoint", str(ckpt), "--json",
+        ]) == 0
+        first = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert first["checkpoint"] == str(ckpt)
+        assert ckpt.exists()
+
+        # Resuming a completed checkpoint replays the recorded result.
+        assert main([
+            "scan", str(seeds_out), "--scale", "0.05",
+            "--resume", str(ckpt), "--json",
+        ]) == 0
+        second = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert second["resumed"] is True
+        assert second["hits"] == first["hits"]
+        assert second["probes_sent"] == first["probes_sent"]
+
+    def test_resume_missing_file_errors(self, tmp_path, capsys):
+        seeds_out = tmp_path / "seeds.txt"
+        assert main(["simulate", "--scale", "0.05", "--output", str(seeds_out)]) == 0
+        assert main([
+            "scan", str(seeds_out), "--scale", "0.05",
+            "--resume", str(tmp_path / "nope.ckpt"),
+        ]) == 1

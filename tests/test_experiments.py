@@ -157,3 +157,42 @@ class TestFig5Cdfs:
             fracs = [f for _, f in s.points]
             assert fracs == sorted(fracs)
             assert fracs[-1] == pytest.approx(1.0)
+
+
+class TestCampaignResume:
+    def test_crash_resume_matches_uninterrupted(self, tmp_path):
+        from repro.faults import InjectedWorkerCrash, WorkerCrash
+        from repro.scanner.engine import ScanConfig
+
+        config = ScanConfig(batch_size=64, retries=1)
+        baseline = ex.run_full_scan(
+            ex.standard_context(SCALE), BUDGET, scan_config=config
+        )
+
+        path = str(tmp_path / "campaign.jsonl")
+        with pytest.raises(InjectedWorkerCrash):
+            ex.run_full_scan(
+                ex.standard_context(SCALE), BUDGET, scan_config=config,
+                checkpoint_path=path, checkpoint_every=2,
+                crash=WorkerCrash(at_batch=3),
+            )
+        resumed = ex.run_full_scan(
+            ex.standard_context(SCALE), BUDGET, scan_config=config,
+            checkpoint_path=path, resume=True,
+        )
+        assert resumed.raw_hits == baseline.raw_hits
+        assert resumed.clean_hits == baseline.clean_hits
+        assert resumed.probes_sent == baseline.probes_sent
+
+    def test_resume_without_path_rejected(self):
+        with pytest.raises(ValueError):
+            ex.run_full_scan(ex.standard_context(SCALE), BUDGET, resume=True)
+
+    def test_resume_with_empty_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "missing.jsonl")
+        outcome = ex.run_full_scan(
+            ex.standard_context(SCALE), BUDGET, checkpoint_path=path,
+            resume=True,
+        )
+        baseline = ex.run_full_scan(ex.standard_context(SCALE), BUDGET)
+        assert outcome.raw_hits == baseline.raw_hits

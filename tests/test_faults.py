@@ -1,0 +1,256 @@
+"""Tests for the deterministic fault-injection package (repro.faults)."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    BurstyLoss,
+    CompositeFault,
+    FaultyGroundTruth,
+    FlakyHosts,
+    InjectedWorkerCrash,
+    RateLimiter,
+    WorkerCrash,
+    compose,
+)
+from repro.ipv6.prefix import Prefix
+from repro.scanner.blacklist import Blacklist
+from repro.scanner.engine import ScanConfig, Scanner
+from repro.simnet.aliasing import AliasedRegionSet
+from repro.simnet.ground_truth import GroundTruth
+
+from conftest import addr
+
+
+def _truth(hosts=None, aliased=None):
+    regions = AliasedRegionSet()
+    for prefix in aliased or []:
+        regions.add_prefix(Prefix.parse(prefix))
+    return GroundTruth({80: set(hosts or [])}, regions)
+
+
+def _addrs(n, seed=0):
+    rng = random.Random(seed)
+    return [rng.getrandbits(128) for _ in range(n)]
+
+
+class TestDeterminism:
+    """Every model is a pure function of (seed, addr, attempt)."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            BurstyLoss(seed=1),
+            RateLimiter(seed=2, budget=16, window=64),
+            FlakyHosts(seed=3),
+            compose(BurstyLoss(seed=1), FlakyHosts(seed=3)),
+        ],
+    )
+    def test_repeatable(self, model):
+        probes = [(a, p, k) for a in _addrs(50) for p in (80,) for k in (0, 1, 2)]
+        first = [model.drops(a, p, k) for a, p, k in probes]
+        second = [model.drops(a, p, k) for a, p, k in probes]
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            BurstyLoss(seed=1, p_enter=0.2, p_exit=0.4),
+            RateLimiter(seed=2, budget=16, window=64),
+            FlakyHosts(seed=3),
+        ],
+    )
+    def test_order_independent_batches(self, model):
+        addrs = _addrs(200, seed=9)
+        scalar = {a: model.drops(a, 80, 0) for a in addrs}
+        shuffled = list(addrs)
+        random.Random(1).shuffle(shuffled)
+        batch = model.drops_many(shuffled, 80, 0)
+        assert batch == [scalar[a] for a in shuffled]
+
+    def test_attempt_changes_the_draw(self):
+        model = BurstyLoss(seed=7, loss_bad=1.0, p_enter=0.5, p_exit=0.5)
+        addrs = _addrs(300, seed=2)
+        verdict0 = [model.drops(a, 80, 0) for a in addrs]
+        verdict1 = [model.drops(a, 80, 1) for a in addrs]
+        assert verdict0 != verdict1  # fresh Bernoulli draw per attempt
+
+    def test_seed_changes_the_draw(self):
+        addrs = _addrs(300, seed=3)
+        a = [FlakyHosts(seed=1).drops(x, 80, 0) for x in addrs]
+        b = [FlakyHosts(seed=2).drops(x, 80, 0) for x in addrs]
+        assert a != b
+
+
+class TestBurstyLoss:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyLoss(seed=0, p_enter=0.0)
+        with pytest.raises(ValueError):
+            BurstyLoss(seed=0, p_exit=1.5)
+        with pytest.raises(ValueError):
+            BurstyLoss(seed=0, loss_bad=-0.1)
+
+    def test_stationary_fraction(self):
+        model = BurstyLoss(seed=0, p_enter=0.1, p_exit=0.3)
+        assert model.stationary_bad == pytest.approx(0.25)
+        assert model.burst_slots == 3
+
+    def test_loss_rate_tracks_stationary_mix(self):
+        # loss_bad=1, loss_good=0 => empirical drop rate ~ stationary_bad.
+        model = BurstyLoss(
+            seed=5, p_enter=0.1, p_exit=0.3, loss_good=0.0, loss_bad=1.0
+        )
+        addrs = _addrs(4000, seed=11)
+        rate = sum(model.drops(a, 80, 0) for a in addrs) / len(addrs)
+        assert abs(rate - model.stationary_bad) < 0.05
+
+    def test_lossless_good_state_never_drops_when_always_good(self):
+        # p_enter tiny => almost every window is good => ~no drops.
+        model = BurstyLoss(seed=5, p_enter=1e-9, p_exit=1.0, loss_good=0.0)
+        assert not any(model.drops(a, 80, 0) for a in _addrs(500))
+
+
+class TestRateLimiter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(seed=0, budget=0)
+        with pytest.raises(ValueError):
+            RateLimiter(seed=0, budget=10, window=5)
+        with pytest.raises(ValueError):
+            RateLimiter(seed=0, prefix_len=200)
+        with pytest.raises(ValueError):
+            RateLimiter(seed=0, limited_fraction=1.5)
+
+    def test_budget_fraction_answered(self):
+        model = RateLimiter(seed=4, budget=64, window=256)
+        base = addr("2001:db8::")
+        probes = [base + i for i in range(4000)]  # one /64, many hosts
+        answered = sum(not model.drops(a, 80, 0) for a in probes)
+        assert abs(answered / len(probes) - 64 / 256) < 0.05
+
+    def test_limited_fraction_zero_is_transparent(self):
+        model = RateLimiter(seed=4, budget=1, window=256, limited_fraction=0.0)
+        assert not any(model.drops(a, 80, 0) for a in _addrs(200))
+
+    def test_retries_land_in_fresh_slots(self):
+        model = RateLimiter(seed=4, budget=64, window=256)
+        base = addr("2001:db8::")
+        dropped = [base + i for i in range(2000) if model.drops(base + i, 80, 0)]
+        recovered = sum(not model.drops(a, 80, 1) for a in dropped)
+        assert recovered > 0  # persistence pays against throttling
+
+
+class TestFlakyHosts:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlakyHosts(seed=0, min_availability=0.9, max_availability=0.5)
+        with pytest.raises(ValueError):
+            FlakyHosts(seed=0, flaky_fraction=-0.1)
+
+    def test_availability_bounds(self):
+        model = FlakyHosts(seed=1, min_availability=1.0, max_availability=1.0)
+        assert not any(model.drops(a, 80, 0) for a in _addrs(200))
+        dead = FlakyHosts(seed=1, min_availability=0.0, max_availability=0.0)
+        assert all(dead.drops(a, 80, 0) for a in _addrs(200))
+
+
+class TestCompose:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose()
+
+    def test_single_passthrough(self):
+        model = BurstyLoss(seed=1)
+        assert compose(model) is model
+
+    def test_any_layer_drops(self):
+        always = FlakyHosts(seed=0, min_availability=0.0, max_availability=0.0)
+        never = FlakyHosts(seed=0, min_availability=1.0, max_availability=1.0)
+        stack = compose(never, always)
+        assert isinstance(stack, CompositeFault)
+        assert all(stack.drops(a, 80, 0) for a in _addrs(50))
+        assert stack.drops_many(_addrs(50), 80, 0) == [True] * 50
+
+    def test_drops_many_matches_scalar(self):
+        stack = compose(BurstyLoss(seed=1), RateLimiter(seed=2, budget=8, window=32))
+        addrs = _addrs(300, seed=4)
+        assert stack.drops_many(addrs, 80, 0) == [
+            stack.drops(a, 80, 0) for a in addrs
+        ]
+
+
+class TestFaultyGroundTruth:
+    def test_scalar_and_batch_agree(self):
+        hosts = _addrs(200, seed=5)
+        truth = FaultyGroundTruth(_truth(hosts=hosts), BurstyLoss(seed=9))
+        probes = hosts[:100] + _addrs(100, seed=6)
+        batch = truth.responsive_many(probes, 80, attempt=1)
+        assert batch == [truth.is_responsive(a, 80, attempt=1) for a in probes]
+
+    def test_never_answers_for_nonhosts(self):
+        truth = FaultyGroundTruth(
+            _truth(hosts=[]), FlakyHosts(seed=0, min_availability=1.0,
+                                         max_availability=1.0)
+        )
+        assert not any(truth.responsive_many(_addrs(50), 80))
+
+    def test_shares_base_tables(self):
+        base = _truth(hosts=[addr("2001:db8::1")])
+        truth = FaultyGroundTruth(
+            base, FlakyHosts(seed=0, min_availability=1.0, max_availability=1.0)
+        )
+        base.add_host(addr("2001:db8::2"), 80)
+        assert truth.is_responsive(addr("2001:db8::2"), 80)
+
+    def test_scan_reproducible_under_faults(self):
+        hosts = _addrs(300, seed=7)
+        fault = compose(BurstyLoss(seed=3), FlakyHosts(seed=4))
+        targets = hosts + _addrs(300, seed=8)
+
+        def run():
+            truth = FaultyGroundTruth(_truth(hosts=hosts), fault)
+            return Scanner(truth, rng_seed=6).scan(targets)
+
+        first, second = run(), run()
+        assert first.hits == second.hits
+        assert first.stats == second.stats
+
+    def test_retries_recover_hits(self):
+        hosts = _addrs(400, seed=10)
+        fault = FlakyHosts(seed=2, min_availability=0.3, max_availability=0.7)
+        truth = FaultyGroundTruth(_truth(hosts=hosts), fault)
+        bare = Scanner(truth, rng_seed=1).scan(hosts)
+        retried = Scanner(
+            truth, rng_seed=1, config=ScanConfig(retries=3)
+        ).scan(hosts)
+        assert bare.hits <= retried.hits
+        assert len(retried.hits) > len(bare.hits)
+        assert retried.stats.retransmits > 0
+
+    def test_blacklist_still_applies(self):
+        host = addr("2600:dead::1")
+        truth = FaultyGroundTruth(
+            _truth(hosts=[host]),
+            FlakyHosts(seed=0, min_availability=1.0, max_availability=1.0),
+        )
+        bl = Blacklist([Prefix.parse("2600:dead::/48")])
+        result = Scanner(truth, blacklist=bl, rng_seed=0).scan([host])
+        assert result.hits == set()
+        assert result.stats.blacklisted == 1
+
+
+class TestWorkerCrash:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerCrash(at_batch=-1)
+        with pytest.raises(ValueError):
+            WorkerCrash(at_batch=0, at_round=-1)
+
+    def test_fires_only_at_target(self):
+        crash = WorkerCrash(at_batch=3, at_round=1)
+        crash.check(0, 3)
+        crash.check(1, 2)
+        with pytest.raises(InjectedWorkerCrash):
+            crash.check(1, 3)

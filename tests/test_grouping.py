@@ -75,3 +75,75 @@ class TestRunPerPrefix:
                 serial.runs[prefix].result.target_set()
                 == parallel.runs[prefix].result.target_set()
             )
+
+
+def _poison_policy(bad_prefix):
+    """Budget policy that hands one prefix a budget run_6gen rejects."""
+
+    def policy(prefix, seeds, base):
+        return -5 if prefix == bad_prefix else base
+
+    return policy
+
+
+class TestFailureIsolation:
+    def test_failing_prefix_skipped_with_warning(self):
+        import pytest
+
+        bad = Prefix.parse("2600::/32")
+        with pytest.warns(RuntimeWarning, match="failed twice"):
+            run = run_per_prefix(
+                _groups(), budget=20, budget_policy=_poison_policy(bad)
+            )
+        assert bad in run.failures
+        assert "ValueError" in run.failures[bad]
+        assert bad not in run.runs
+        # the healthy prefix still produced targets
+        good = Prefix.parse("2001:db8::/32")
+        assert good in run.runs
+        assert run.runs[good].result.target_set()
+
+    def test_isolate_failures_false_reraises(self):
+        import pytest
+
+        bad = Prefix.parse("2600::/32")
+        with pytest.raises(ValueError):
+            run_per_prefix(
+                _groups(), budget=20, budget_policy=_poison_policy(bad),
+                isolate_failures=False,
+            )
+
+    def test_pool_path_isolates_failures(self):
+        import pytest
+
+        bad = Prefix.parse("2600::/32")
+        with pytest.warns(RuntimeWarning, match="failed twice"):
+            run = run_per_prefix(
+                _groups(), budget=20, budget_policy=_poison_policy(bad),
+                processes=2,
+            )
+        assert bad in run.failures
+        good = Prefix.parse("2001:db8::/32")
+        assert run.runs[good].result.target_set()
+
+    def test_progress_sink_events(self):
+        import pytest
+
+        from repro.telemetry.sinks import MemorySink
+
+        bad = Prefix.parse("2600::/32")
+        sink = MemorySink()
+        with pytest.warns(RuntimeWarning):
+            run_per_prefix(
+                _groups(), budget=20, budget_policy=_poison_policy(bad),
+                progress_sink=sink,
+            )
+        kinds = [e["event"] for e in sink.events]
+        assert kinds.count("prefix_generated") == 1
+        assert kinds.count("prefix_failed") == 1
+        failed = next(e for e in sink.events if e["event"] == "prefix_failed")
+        assert failed["prefix"] == str(bad)
+
+    def test_no_failures_leaves_failures_empty(self):
+        run = run_per_prefix(_groups(), budget=20)
+        assert run.failures == {}

@@ -84,3 +84,43 @@ class TestIntegrationWith6Gen:
         # expansion covers every seed
         expanded = set(expand_ranges(back))
         assert set(dense_block_seeds) <= expanded
+
+
+class TestDisjointExpansion:
+    def test_disjoint_ranges_expand_without_dedup(self):
+        # Pairwise-disjoint ranges take the no-tracking fast path; the
+        # output must still be exactly the union, duplicate-free.
+        ranges = [
+            NybbleRange.parse("2001:db8::[1-4]"),
+            NybbleRange.parse("2001:db8:1::[1-4]"),
+            NybbleRange.parse("2600::?"),
+        ]
+        values = list(expand_ranges(ranges))
+        assert len(values) == len(set(values)) == 4 + 4 + 16
+
+    def test_mixed_overlap_still_dedupes(self):
+        # One overlapping pair plus a disjoint range: only the
+        # overlapping pair needs dedup tracking, and the result is
+        # still duplicate-free.
+        ranges = [
+            NybbleRange.parse("2001:db8::[1-4]"),
+            NybbleRange.parse("2001:db8::[3-6]"),
+            NybbleRange.parse("2600::[1-2]"),
+        ]
+        values = list(expand_ranges(ranges))
+        assert len(values) == len(set(values)) == 6 + 2
+
+    def test_disjoint_limit(self):
+        ranges = [
+            NybbleRange.parse("2001:db8::?"),
+            NybbleRange.parse("2600::?"),
+        ]
+        assert len(list(expand_ranges(ranges, limit=20))) == 20
+
+    def test_identical_ranges_counted_once(self):
+        ranges = [
+            NybbleRange.parse("2001:db8::[1-4]"),
+            NybbleRange.parse("2001:db8::[1-4]"),
+        ]
+        values = list(expand_ranges(ranges))
+        assert len(values) == len(set(values)) == 4

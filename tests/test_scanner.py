@@ -286,3 +286,92 @@ class TestProbeRetryAccounting:
         assert not scanner.probe_retry(addr("2001:db8::1"), stats=stats)
         assert scanner.total_probes == 0
         assert stats.blacklisted == 1
+
+
+class TestAttemptValidation:
+    def test_probe_many_rejects_zero_attempts(self):
+        scanner = Scanner(_truth(hosts=[addr("::1")]))
+        with pytest.raises(ValueError, match="attempts"):
+            scanner.probe_many([addr("::1")], 80, attempts=0)
+
+    def test_probe_retry_rejects_zero_attempts(self):
+        scanner = Scanner(_truth(hosts=[addr("::1")]))
+        with pytest.raises(ValueError, match="attempts"):
+            scanner.probe_retry(addr("::1"), attempts=0)
+        with pytest.raises(ValueError, match="attempts"):
+            scanner.probe_retry(addr("::1"), attempts=-1)
+
+
+class TestRetryScan:
+    def test_retries_zero_is_bit_identical_to_default(self):
+        from repro.scanner.engine import ScanConfig
+
+        truth, bl, targets = _parity_world()
+        plain = Scanner(truth, blacklist=bl, loss_rate=0.3, rng_seed=5).scan(
+            targets
+        )
+        explicit = Scanner(
+            truth, blacklist=bl, loss_rate=0.3, rng_seed=5,
+            config=ScanConfig(retries=0),
+        ).scan(targets)
+        assert explicit.hits == plain.hits
+        assert explicit.stats == plain.stats
+        assert explicit.stats.retransmits == 0
+
+    def test_retry_parity_reference_batched_pool(self):
+        from repro.scanner.engine import ScanConfig
+
+        truth, bl, targets = _parity_world()
+        results = []
+        for config in (
+            ScanConfig(use_batched=False, retries=2),
+            ScanConfig(batch_size=64, retries=2),
+            ScanConfig(batch_size=64, workers=2, retries=2),
+        ):
+            scanner = Scanner(
+                truth, blacklist=bl, loss_rate=0.3, rng_seed=5, config=config
+            )
+            results.append(scanner.scan(targets))
+        first = results[0]
+        for other in results[1:]:
+            assert other.hits == first.hits
+            assert other.stats == first.stats
+        assert first.stats.retransmits > 0
+
+    def test_retries_recover_lost_hits(self):
+        from repro.scanner.engine import ScanConfig
+
+        truth, bl, targets = _parity_world()
+        single = Scanner(truth, blacklist=bl, loss_rate=0.5, rng_seed=5).scan(
+            targets
+        )
+        retried = Scanner(
+            truth, blacklist=bl, loss_rate=0.5, rng_seed=5,
+            config=ScanConfig(retries=4),
+        ).scan(targets)
+        assert single.hits < retried.hits
+
+    def test_retransmit_accounting(self):
+        from repro.scanner.engine import ScanConfig
+
+        # Lossless scan: every responder answers round 0, so the only
+        # retransmissions are the non-responders, once per retry round.
+        truth, bl, targets = _parity_world()
+        scanner = Scanner(
+            truth, blacklist=bl, loss_rate=0.0, rng_seed=5,
+            config=ScanConfig(retries=2),
+        )
+        result = scanner.scan(targets)
+        misses = result.stats.probes_sent - result.stats.responses
+        assert result.stats.retransmits == 2 * misses
+        assert scanner.total_probes == (
+            result.stats.probes_sent + result.stats.retransmits
+        )
+
+    def test_retry_backoff_validation(self):
+        from repro.scanner.engine import ScanConfig
+
+        with pytest.raises(ValueError):
+            ScanConfig(retries=-1)
+        with pytest.raises(ValueError):
+            ScanConfig(retry_backoff=-0.5)

@@ -385,13 +385,17 @@ class TestTimer:
 
 class TestScanStatsSnapshot:
     def test_matches_stats_fields(self):
-        stats = ScanStats(probes_sent=10, responses=4, blacklisted=2, dropped=1)
+        stats = ScanStats(
+            probes_sent=10, responses=4, blacklisted=2, dropped=1,
+            retransmits=3,
+        )
         snap = scan_stats_snapshot(stats)
         assert snap.counters == {
             "scan.probes_sent": 10,
             "scan.responses": 4,
             "scan.blacklisted": 2,
             "scan.dropped": 1,
+            "scan.retransmits": 3,
         }
 
 
