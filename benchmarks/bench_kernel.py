@@ -4,7 +4,8 @@ Runs a Figure-2-style seed-count sweep, timing each tier on both the
 vectorised kernel (``use_vector_kernel=True``) and the reference
 implementation, verifying on every run that the two produce identical
 target sets, and writes the medians and speedups to
-``BENCH_sixgen.json`` (see DESIGN.md "Performance" for how to read it).
+``benchmarks/results/BENCH_sixgen.json`` (see DESIGN.md "Performance"
+for how to read it).
 
 Standalone script, not a pytest benchmark — CI runs it with ``--quick``
 and fails the build if the paths ever diverge:
@@ -69,8 +70,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         type=pathlib.Path,
-        default=REPO_ROOT / "BENCH_sixgen.json",
-        help="output JSON path (default: repo-root BENCH_sixgen.json)",
+        default=REPO_ROOT / "benchmarks" / "results" / "BENCH_sixgen.json",
+        help="output JSON path (default: benchmarks/results/BENCH_sixgen.json)",
     )
     args = parser.parse_args(argv)
     if not args.out.parent.is_dir():

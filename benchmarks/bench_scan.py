@@ -1,19 +1,24 @@
-"""Scan-pipeline benchmark: batched streaming engine vs the reference.
+"""Scan-pipeline benchmark: array plane vs object path vs reference.
 
 Builds one target pool from the standard per-prefix 6Gen run, then
 scans growing tiers of it with (a) the sequential per-address reference
-path and (b) the batched streaming path, verifying on every tier that
-the two produce identical hits *and* identical ``ScanStats`` — the
-parity contract the engine promises for a fixed ``rng_seed``.  A lossy
-tier exercises the order-independent loss PRF, and a multi-worker run
-checks that process sharding reproduces the reference hit set.
-Medians and speedups land in ``BENCH_scan.json`` (see DESIGN.md
-"Performance" for how to read it).
+path, (b) the batched *object* path (``use_arrays=False`` — Python-int
+batches through the list[bool] lookups), and (c) the batched *array*
+plane (packed uint64 hi/lo columns, vectorised lookups), verifying on
+every tier that all paths produce identical hits *and* identical
+``ScanStats`` — the parity contract the engine promises for a fixed
+``rng_seed``.  A lossy tier exercises the order-independent loss PRF,
+and a multi-worker run checks that shared-memory process sharding
+reproduces the reference hit set.  Medians and speedups land in
+``benchmarks/results/BENCH_scan.json`` (see docs/performance.md for
+how to read the tiers).
 
 Standalone script, not a pytest benchmark — CI runs it with ``--quick``
-and fails the build if the paths ever diverge:
+and fails the build if the paths ever diverge, and the ``scan-speedup``
+job additionally gates on ``--min-array-speedup``:
 
     python benchmarks/bench_scan.py [--quick] [--out BENCH_scan.json]
+                                    [--min-array-speedup X.Y]
 """
 
 from __future__ import annotations
@@ -46,6 +51,8 @@ BUDGET = 20_000
 SCALE = 0.3
 RNG_SEED = 5
 
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_scan.json"
+
 
 def build_pool(limit: int) -> list[int]:
     """Target pool from the standard 6Gen run (streamed, deterministic)."""
@@ -75,37 +82,43 @@ def bench_tier(
     repeats: int, loss_rate: float, telemetry: Telemetry = NULL_TELEMETRY,
 ) -> dict:
     targets = pool[:n]
-    timings: dict[str, list[float]] = {"reference": [], "batched": []}
-    identical = True
     configs = {
         "reference": ScanConfig(use_batched=False),
-        "batched": ScanConfig(),
+        "object": ScanConfig(use_arrays=False),
+        "arrays": ScanConfig(),
     }
+    timings: dict[str, list[float]] = {name: [] for name in configs}
+    identical = True
     for _ in range(repeats):
         results = {}
         for name, config in configs.items():
-            # Only the batched (production) path is instrumented, so
-            # the JSONL records one pipeline's counters per tier run.
+            # Only the array (production) path is instrumented, so the
+            # JSONL records one pipeline's counters per tier run.
             scanner = Scanner(
                 truth, blacklist=blacklist, loss_rate=loss_rate,
                 rng_seed=RNG_SEED, config=config,
-                telemetry=telemetry if name == "batched" else None,
+                telemetry=telemetry if name == "arrays" else None,
             )
             results[name], elapsed = time_call(lambda s=scanner: s.scan(targets))
             timings[name].append(elapsed)
-        if (
-            results["batched"].hits != results["reference"].hits
-            or results["batched"].stats != results["reference"].stats
-        ):
-            identical = False
+        for name in ("object", "arrays"):
+            if (
+                results[name].hits != results["reference"].hits
+                or results[name].stats != results["reference"].stats
+            ):
+                identical = False
     baseline = statistics.median(timings["reference"])
-    batched = statistics.median(timings["batched"])
+    object_path = statistics.median(timings["object"])
+    arrays = statistics.median(timings["arrays"])
     return {
         "targets": n,
         "loss_rate": loss_rate,
         "baseline_median_s": round(baseline, 4),
-        "batched_median_s": round(batched, 4),
-        "speedup": round(baseline / batched, 2) if batched else None,
+        "batched_median_s": round(object_path, 4),
+        "arrays_median_s": round(arrays, 4),
+        "speedup": round(baseline / object_path, 2) if object_path else None,
+        "arrays_speedup": round(baseline / arrays, 2) if arrays else None,
+        "arrays_over_batched": round(object_path / arrays, 2) if arrays else None,
         "identical": identical,
     }
 
@@ -114,23 +127,32 @@ def check_workers(
     truth, blacklist: Blacklist, pool: list[int],
     telemetry: Telemetry = NULL_TELEMETRY,
 ) -> dict:
-    """Multi-worker scan must reproduce the reference hit set and stats."""
+    """Multi-worker scans must reproduce the reference hit set and stats."""
     targets = pool[: min(len(pool), 100_000)]
     reference = Scanner(
         truth, blacklist=blacklist, loss_rate=0.1, rng_seed=RNG_SEED,
         config=ScanConfig(use_batched=False),
     ).scan(targets)
-    pooled_scanner = Scanner(
+    object_scanner = Scanner(
+        truth, blacklist=blacklist, loss_rate=0.1, rng_seed=RNG_SEED,
+        config=ScanConfig(workers=2, use_arrays=False),
+    )
+    object_pooled, object_s = time_call(lambda: object_scanner.scan(targets))
+    arrays_scanner = Scanner(
         truth, blacklist=blacklist, loss_rate=0.1, rng_seed=RNG_SEED,
         config=ScanConfig(workers=2), telemetry=telemetry,
     )
-    pooled, elapsed = time_call(lambda: pooled_scanner.scan(targets))
+    arrays_pooled, arrays_s = time_call(lambda: arrays_scanner.scan(targets))
+    identical = all(
+        pooled.hits == reference.hits and pooled.stats == reference.stats
+        for pooled in (object_pooled, arrays_pooled)
+    )
     return {
         "targets": len(targets),
         "workers": 2,
-        "pool_s": round(elapsed, 4),
-        "identical": pooled.hits == reference.hits
-        and pooled.stats == reference.stats,
+        "pool_s": round(object_s, 4),
+        "arrays_pool_s": round(arrays_s, 4),
+        "identical": identical,
     }
 
 
@@ -144,15 +166,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         type=pathlib.Path,
-        default=REPO_ROOT / "BENCH_scan.json",
-        help="output JSON path (default: repo-root BENCH_scan.json)",
+        default=DEFAULT_OUT,
+        help="output JSON path (default: benchmarks/results/BENCH_scan.json)",
+    )
+    parser.add_argument(
+        "--min-array-speedup",
+        type=float,
+        metavar="X.Y",
+        help="fail unless the array plane beats the object path by at "
+             "least this factor on the largest lossless tier (CI "
+             "scan-speedup gate)",
     )
     parser.add_argument(
         "--telemetry",
         type=pathlib.Path,
         metavar="FILE",
         help="also append a telemetry JSONL (manifest + per-tier events + "
-             "scan metrics) for the batched path",
+             "scan metrics) for the array path",
     )
     args = parser.parse_args(argv)
     if not args.out.parent.is_dir():
@@ -182,7 +212,10 @@ def main(argv: list[str] | None = None) -> int:
         telemetry.event("progress", {"stage": "bench_tier", **row})
         print(
             f"targets={row['targets']:>7}  baseline={row['baseline_median_s']:.3f}s  "
-            f"batched={row['batched_median_s']:.3f}s  speedup={row['speedup']}x  "
+            f"object={row['batched_median_s']:.3f}s  "
+            f"arrays={row['arrays_median_s']:.3f}s  "
+            f"arrays_speedup={row['arrays_speedup']}x  "
+            f"arrays_over_batched={row['arrays_over_batched']}x  "
             f"identical={row['identical']}"
         )
     # One lossy tier: the loss PRF must stay order-independent.
@@ -192,14 +225,17 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"targets={lossy['targets']:>7}  loss=0.2  "
         f"baseline={lossy['baseline_median_s']:.3f}s  "
-        f"batched={lossy['batched_median_s']:.3f}s  "
+        f"object={lossy['batched_median_s']:.3f}s  "
+        f"arrays={lossy['arrays_median_s']:.3f}s  "
         f"identical={lossy['identical']}"
     )
     workers = check_workers(truth, blacklist, pool, telemetry)
     telemetry.event("progress", {"stage": "workers_check", **workers})
     print(
         f"workers={workers['workers']}  targets={workers['targets']}  "
-        f"pool={workers['pool_s']:.3f}s  identical={workers['identical']}"
+        f"object_pool={workers['pool_s']:.3f}s  "
+        f"arrays_pool={workers['arrays_pool_s']:.3f}s  "
+        f"identical={workers['identical']}"
     )
     telemetry.close()
 
@@ -219,6 +255,22 @@ def main(argv: list[str] | None = None) -> int:
     if not all(row["identical"] for row in rows) or not workers["identical"]:
         print("DIVERGENCE: batched scan output differs from reference")
         return 1
+    if args.min_array_speedup is not None:
+        # Gate on the largest lossless tier (the first rows are the
+        # lossless ladder; the lossy tier is appended after them).
+        gate_row = rows[len(tiers) - 1]
+        measured = gate_row["arrays_over_batched"]
+        if measured is None or measured < args.min_array_speedup:
+            print(
+                f"SPEEDUP GATE FAILED: arrays over object path "
+                f"{measured}x < {args.min_array_speedup}x "
+                f"at {gate_row['targets']} targets"
+            )
+            return 1
+        print(
+            f"speedup gate OK: {measured}x >= {args.min_array_speedup}x "
+            f"at {gate_row['targets']} targets"
+        )
     return 0
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from ..simnet.ground_truth import GroundTruth
 from .models import FaultModel
 
@@ -42,10 +44,42 @@ class FaultyGroundTruth(GroundTruth):
     def responsive_many(
         self, addrs: Iterable[int], port: int = 80, attempt: int = 0
     ) -> list[bool]:
-        addrs = [int(a) for a in addrs]
+        # One bulk conversion, no per-element int() when the input is
+        # already plain ints or a numpy column (tolist is one C pass).
+        if isinstance(addrs, np.ndarray):
+            addrs = addrs.tolist()
+        else:
+            addrs = [int(a) for a in addrs]
         dropped = self.fault.drops_many(addrs, port, attempt)
         survivors = [a for a, lost in zip(addrs, dropped) if not lost]
-        verdicts = iter(
-            super().responsive_many(survivors, port) if survivors else ()
-        )
-        return [False if lost else next(verdicts) for lost in dropped]
+        flags = [False] * len(addrs)
+        if survivors:
+            verdicts = super().responsive_many(survivors, port)
+            cursor = 0
+            for i, lost in enumerate(dropped):
+                if not lost:
+                    flags[i] = verdicts[cursor]
+                    cursor += 1
+        return flags
+
+    def responsive_many_arr(
+        self,
+        hi: np.ndarray,
+        lo: np.ndarray,
+        port: int = 80,
+        attempt: int = 0,
+    ) -> np.ndarray:
+        """Array-native overlay: fault layer first, oracle for survivors.
+
+        Calls the *base class* oracle directly, matching the scalar
+        ``super().responsive_many`` — when overlays nest, only the
+        outermost fault model applies.
+        """
+        dropped = self.fault.drops_many_arr(hi, lo, port, attempt)
+        flags = np.zeros(len(hi), dtype=bool)
+        live = ~dropped
+        if live.any():
+            flags[live] = GroundTruth.responsive_many_arr(
+                self, hi[live], lo[live], port
+            )
+        return flags

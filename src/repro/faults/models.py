@@ -26,10 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..scanner.schedule import mix64
+import numpy as np
+
+from ..scanner.schedule import _mix64_np, mix64
 
 _M64 = (1 << 64) - 1
 _TWO64 = float(1 << 64)
+_TWO64_NP = np.float64(2**64)
+_ZERO64 = np.uint64(0)
 
 # Domain-separation salts: each question a model asks the PRF gets its
 # own constant, so e.g. "which window is this probe in" and "does the
@@ -63,6 +67,34 @@ def _prf_unit(seed: int, salt: int, *parts: int) -> float:
     return _prf_bits(seed, salt, *parts) / _TWO64
 
 
+# -- vectorised PRF helpers (bit-identical to the scalar forms) -------------
+def _prf_start(seed: int, salt: int) -> np.uint64:
+    """The scalar hash-chain start ``mix64(seed ^ salt)`` as a uint64."""
+    return np.uint64(mix64((seed ^ salt) & _M64))
+
+
+def _fold64(h: np.ndarray | np.uint64, part: np.ndarray | np.uint64) -> np.ndarray:
+    """Fold one 64-bit part into the chain (matches ``_prf_bits``)."""
+    return _mix64_np(h ^ part)
+
+
+def _fold128(
+    h: np.ndarray | np.uint64, hi: np.ndarray, lo: np.ndarray
+) -> np.ndarray:
+    """Fold a 128-bit part given as hi/lo columns.
+
+    The scalar ``_prf_bits`` folds the high word only when it is
+    non-zero; ``np.where`` replicates that branch exactly.
+    """
+    h = _mix64_np(h ^ lo)
+    return np.where(hi != _ZERO64, _mix64_np(h ^ hi), h)
+
+
+def _unit(h: np.ndarray) -> np.ndarray:
+    """Chain value -> uniform-in-[0, 1) float64 (exact 2**64 scaling)."""
+    return h / _TWO64_NP
+
+
 class FaultModel:
     """One deterministic probe-level fault.
 
@@ -78,6 +110,21 @@ class FaultModel:
         self, addrs: Sequence[int], port: int, attempt: int
     ) -> list[bool]:
         return [self.drops(int(a), port, attempt) for a in addrs]
+
+    def drops_many_arr(
+        self, hi: np.ndarray, lo: np.ndarray, port: int, attempt: int
+    ) -> np.ndarray:
+        """Batched verdicts over hi/lo uint64 columns (bool array).
+
+        Built-in models override this with fully vectorised PRFs; the
+        default unpacks to ints and delegates to :meth:`drops_many`, so
+        any custom model works on the array scan path unchanged.
+        """
+        from ..ipv6.addrplane import unpack
+
+        return np.asarray(
+            self.drops_many(unpack(hi, lo), port, attempt), dtype=bool
+        )
 
 
 @dataclass(frozen=True)
@@ -139,6 +186,25 @@ class BurstyLoss(FaultModel):
             return True
         return _prf_unit(self.seed, _SALT_DROP, addr, attempt) < loss
 
+    def drops_many_arr(
+        self, hi: np.ndarray, lo: np.ndarray, port: int, attempt: int
+    ) -> np.ndarray:
+        att = np.uint64(attempt)
+        slot = _fold64(
+            _fold128(_prf_start(self.seed, _SALT_WINDOW), hi, lo), att
+        ) & np.uint64(0xFFFFFFFF)
+        window = slot // np.uint64(self.burst_slots)
+        bad = (
+            _unit(_fold64(_prf_start(self.seed, _SALT_STATE), window))
+            < self.stationary_bad
+        )
+        loss = np.where(bad, self.loss_bad, self.loss_good)
+        draw = _unit(
+            _fold64(_fold128(_prf_start(self.seed, _SALT_DROP), hi, lo), att)
+        )
+        # Mirrors the scalar clamps: loss<=0 never drops, loss>=1 always.
+        return (loss > 0.0) & ((loss >= 1.0) | (draw < loss))
+
 
 @dataclass(frozen=True)
 class RateLimiter(FaultModel):
@@ -186,6 +252,48 @@ class RateLimiter(FaultModel):
         slot = _prf_bits(self.seed, _SALT_ARRIVAL, prefix, addr, attempt)
         return slot % self.window >= self.budget
 
+    def _prefix_columns(
+        self, hi: np.ndarray, lo: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``/prefix_len`` network *value* as hi/lo columns.
+
+        numpy shifts by >= 64 are undefined for uint64, so the four
+        length regimes are handled explicitly.
+        """
+        length = self.prefix_len
+        zeros = np.zeros(len(hi), dtype=np.uint64)
+        if length == 0:
+            return zeros, zeros
+        if length <= 64:
+            plo = hi if length == 64 else hi >> np.uint64(64 - length)
+            return zeros, plo
+        if length == 128:
+            return hi, lo
+        shift = np.uint64(128 - length)
+        plo = (hi << (np.uint64(64) - shift)) | (lo >> shift)
+        return hi >> shift, plo
+
+    def drops_many_arr(
+        self, hi: np.ndarray, lo: np.ndarray, port: int, attempt: int
+    ) -> np.ndarray:
+        phi, plo = self._prefix_columns(hi, lo)
+        slot = _fold64(
+            _fold128(
+                _fold128(_prf_start(self.seed, _SALT_ARRIVAL), phi, plo),
+                hi,
+                lo,
+            ),
+            np.uint64(attempt),
+        )
+        dropped = slot % np.uint64(self.window) >= np.uint64(self.budget)
+        if self.limited_fraction < 1.0:
+            member = (
+                _unit(_fold128(_prf_start(self.seed, _SALT_MEMBER), phi, plo))
+                < self.limited_fraction
+            )
+            dropped &= member
+        return dropped
+
 
 @dataclass(frozen=True)
 class FlakyHosts(FaultModel):
@@ -225,6 +333,28 @@ class FlakyHosts(FaultModel):
         )
         return _prf_unit(self.seed, _SALT_DROP, addr, attempt) >= availability
 
+    def drops_many_arr(
+        self, hi: np.ndarray, lo: np.ndarray, port: int, attempt: int
+    ) -> np.ndarray:
+        span = self.max_availability - self.min_availability
+        availability = self.min_availability + span * _unit(
+            _fold128(_prf_start(self.seed, _SALT_AVAIL), hi, lo)
+        )
+        draw = _unit(
+            _fold64(
+                _fold128(_prf_start(self.seed, _SALT_DROP), hi, lo),
+                np.uint64(attempt),
+            )
+        )
+        dropped = draw >= availability
+        if self.flaky_fraction < 1.0:
+            member = (
+                _unit(_fold128(_prf_start(self.seed, _SALT_MEMBER), hi, lo))
+                < self.flaky_fraction
+            )
+            dropped &= member
+        return dropped
+
 
 @dataclass(frozen=True)
 class CompositeFault(FaultModel):
@@ -243,6 +373,14 @@ class CompositeFault(FaultModel):
             for i, dropped in enumerate(model.drops_many(addrs, port, attempt)):
                 if dropped:
                     flags[i] = True
+        return flags
+
+    def drops_many_arr(
+        self, hi: np.ndarray, lo: np.ndarray, port: int, attempt: int
+    ) -> np.ndarray:
+        flags = np.zeros(len(hi), dtype=bool)
+        for model in self.models:
+            flags |= model.drops_many_arr(hi, lo, port, attempt)
         return flags
 
 

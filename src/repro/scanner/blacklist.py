@@ -8,10 +8,16 @@ tests inject blacklist entries to verify nothing leaks through.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
 from collections import defaultdict
-from typing import Iterable, Iterator, Sequence
 
 from ..ipv6.prefix import Prefix, network_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from ..ipv6.addrplane import PrefixMaskTable
 
 
 class Blacklist:
@@ -21,6 +27,7 @@ class Blacklist:
         self._by_length: dict[int, set[int]] = defaultdict(set)
         self._lengths: list[int] = []
         self._count = 0
+        self._frozen: "PrefixMaskTable | None" = None
         for prefix in prefixes:
             self.add(prefix)
 
@@ -29,6 +36,7 @@ class Blacklist:
         if prefix.network not in bucket:
             bucket.add(prefix.network)
             self._count += 1
+            self._frozen = None
             if prefix.length not in self._lengths:
                 self._lengths.append(prefix.length)
                 self._lengths.sort()
@@ -64,6 +72,31 @@ class Blacklist:
                 if not flagged and int(addrs[i]) & mask in bucket:
                     flags[i] = True
         return flags
+
+    def frozen_table(self) -> "PrefixMaskTable | None":
+        """The blacklist as a frozen mask table, memoised until :meth:`add`.
+
+        ``None`` when empty.  The table's arrays are immutable snapshots
+        suitable for sharing with scan workers.
+        """
+        if not self._count:
+            return None
+        if self._frozen is None:
+            from ..ipv6.addrplane import PrefixMaskTable
+
+            self._frozen = PrefixMaskTable.from_networks(
+                {length: self._by_length[length] for length in self._lengths}
+            )
+        return self._frozen
+
+    def contains_arr(self, hi: "np.ndarray", lo: "np.ndarray") -> "np.ndarray":
+        """Array-native :meth:`contains_many` over hi/lo uint64 columns."""
+        table = self.frozen_table()
+        if table is None:
+            import numpy as np
+
+            return np.zeros(len(hi), dtype=bool)
+        return table.match_any(hi, lo)
 
     def __contains__(self, addr) -> bool:
         return self.contains(int(addr))

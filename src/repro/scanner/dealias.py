@@ -68,6 +68,35 @@ def is_prefix_aliased(
     return all(scanner.probe_many(addrs, port, attempts=probes_per_addr))
 
 
+def _alias_tests_fused(
+    pairs: Sequence[tuple[Prefix, int]],
+    scanner: Scanner,
+    *,
+    sample_addrs: int,
+    probes_per_addr: int,
+    port: int,
+) -> list[bool]:
+    """All of ``pairs``' samples through one :meth:`Scanner.probe_many`.
+
+    Identical verdicts and probe totals to per-prefix
+    :func:`is_prefix_aliased` calls: every per-address outcome
+    (blacklist, loss, truth, retry stop) is a pure function of the
+    address and attempt, never of what else shares the batch.  Fusing
+    just hands the prober batches big enough for its array fast path.
+    """
+    addrs: list[int] = []
+    for prefix, seed in pairs:
+        rng = random.Random(seed)
+        addrs.extend(
+            prefix.random_address(rng).value for _ in range(sample_addrs)
+        )
+    flags = scanner.probe_many(addrs, port, attempts=probes_per_addr)
+    return [
+        all(flags[i * sample_addrs : (i + 1) * sample_addrs])
+        for i in range(len(pairs))
+    ]
+
+
 def _base_key(rng_seed: int | None) -> int:
     """One 64-bit key per pipeline run, derived the same way everywhere."""
     return random.Random(rng_seed).getrandbits(64)
@@ -98,17 +127,13 @@ def _run_alias_tests(
     parent's probe counter is advanced by the workers' probe totals.
     """
     if workers <= 1 or len(pairs) <= 1:
-        return [
-            is_prefix_aliased(
-                prefix,
-                scanner,
-                random.Random(seed),
-                sample_addrs=sample_addrs,
-                probes_per_addr=probes_per_addr,
-                port=port,
-            )
-            for prefix, seed in pairs
-        ]
+        return _alias_tests_fused(
+            pairs,
+            scanner,
+            sample_addrs=sample_addrs,
+            probes_per_addr=probes_per_addr,
+            port=port,
+        )
     from concurrent.futures import ProcessPoolExecutor
 
     chunk_size = max(1, (len(pairs) + workers * 4 - 1) // (workers * 4))
@@ -150,17 +175,13 @@ def _dealias_check_chunk(args) -> tuple[list[bool], int]:
     pairs, (sample_addrs, probes_per_addr, port) = args
     scanner: Scanner = _DEALIAS_STATE["scanner"]
     before = scanner.total_probes
-    flags = [
-        is_prefix_aliased(
-            prefix,
-            scanner,
-            random.Random(seed),
-            sample_addrs=sample_addrs,
-            probes_per_addr=probes_per_addr,
-            port=port,
-        )
-        for prefix, seed in pairs
-    ]
+    flags = _alias_tests_fused(
+        pairs,
+        scanner,
+        sample_addrs=sample_addrs,
+        probes_per_addr=probes_per_addr,
+        port=port,
+    )
     return flags, scanner.total_probes - before
 
 

@@ -61,8 +61,14 @@ from ..simnet.ground_truth import GroundTruth
 from ..telemetry.metrics import MetricsSnapshot
 from ..telemetry.spans import Telemetry, ensure
 from .blacklist import Blacklist
+from .plane import ScanPlane, loss_prf_arr
 from .probe import DEFAULT_PORT, ScanResult, ScanStats
 from .schedule import CyclicPermutation, mix64
+
+try:  # posix-only; the peak-RSS gauge degrades to absent elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-posix
+    _resource = None
 
 if TYPE_CHECKING:  # import cycles avoided: these are type-only
     from ..faults.models import WorkerCrash
@@ -72,6 +78,9 @@ _M64 = (1 << 64) - 1
 #: Domain-separation constants for the keys derived from ``rng_seed``.
 _ORDER_SALT = 0x5C4E06D3A1B2C4D5
 _PROBE_SALT = 0x9E3779B97F4A7C15
+#: Minimum probe_many batch worth routing through the array plane;
+#: below this the numpy call overhead outweighs the vectorisation.
+_ARRAY_PROBE_MIN = 32
 
 
 def _loss_prf(key: int, addr: int) -> float:
@@ -114,6 +123,11 @@ class ScanConfig:
     batch_size: int = 4096
     workers: int = 1
     use_batched: bool = True
+    #: Run batches on the array-native scan plane (packed uint64 hi/lo
+    #: columns, vectorised lookups, shared-memory worker shards) when
+    #: the truth/blacklist types support it.  Parity-gated: verdicts
+    #: are bit-identical to the object path, this only trades speed.
+    use_arrays: bool = True
     #: Extra probe rounds for non-responders (0 = single-pass, the
     #: pre-retry behaviour, bit-identical output).
     retries: int = 0
@@ -236,6 +250,10 @@ class Scanner:
         if attempts < 1:
             raise ValueError(f"attempts must be >= 1: {attempts}")
         addrs = [int(a) for a in addrs]
+        if len(addrs) >= _ARRAY_PROBE_MIN and ScanPlane.supports(
+            self.truth, self.blacklist
+        ):
+            return self._probe_many_arr(addrs, port, attempts, stats)
         results = [False] * len(addrs)
         if self.blacklist:
             flags = self.blacklist.contains_many(addrs)
@@ -277,6 +295,57 @@ class Scanner:
             pending = [i for i in pending if not results[i]]
         return results
 
+    def _probe_many_arr(
+        self,
+        addrs: list[int],
+        port: int,
+        attempts: int,
+        stats: ScanStats | None,
+    ) -> list[bool]:
+        """Array-native :meth:`probe_many`: identical verdicts and stats."""
+        import numpy as np
+
+        from ..ipv6.addrplane import pack
+
+        hi, lo = pack(addrs)
+        results = np.zeros(len(addrs), dtype=bool)
+        if self.blacklist:
+            blocked = self.blacklist.contains_arr(hi, lo)
+            pending = np.flatnonzero(~blocked)
+            if stats is not None:
+                stats.blacklisted += len(addrs) - len(pending)
+        else:
+            pending = np.arange(len(addrs))
+        loss = self.loss_rate
+        for attempt in range(attempts):
+            if not len(pending):
+                break
+            self.total_probes += len(pending)
+            if stats is not None:
+                stats.probes_sent += len(pending)
+                if attempt > 0:
+                    stats.retransmits += len(pending)
+            if loss:
+                attempt_key = mix64(self._probe_key + attempt)
+                lost = (
+                    loss_prf_arr(attempt_key, hi[pending], lo[pending]) < loss
+                )
+                if stats is not None:
+                    stats.dropped += int(lost.sum())
+                kept = pending[~lost]
+            else:
+                kept = pending
+            if len(kept):
+                flags = self.truth.responsive_many_arr(
+                    hi[kept], lo[kept], port, attempt=attempt
+                )
+                responded = kept[flags]
+                results[responded] = True
+                if stats is not None:
+                    stats.responses += len(responded)
+            pending = pending[~results[pending]]
+        return results.tolist()
+
     # -- bulk scan ------------------------------------------------------------
     def scan(
         self,
@@ -307,7 +376,7 @@ class Scanner:
         batched path.
         """
         config = self.config
-        ordered = list(dict.fromkeys(int(t) for t in targets))
+        ordered = list(dict.fromkeys(map(int, targets)))
         if not shuffle:
             ordered.sort()
         # Both paths draw the same keys in the same order so reference
@@ -400,6 +469,16 @@ class Scanner:
                 tele.gauge(
                     "scan.probes_per_sec", result.stats.probes_sent / elapsed
                 )
+            if _resource is not None:
+                # Gauges merge by max, so across runs this reports the
+                # campaign's peak resident set (KiB on Linux) — the
+                # memory axis of `repro report --against` comparisons.
+                tele.gauge(
+                    "scan.peak_rss_kib",
+                    float(
+                        _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+                    ),
+                )
             tele.event(
                 "scan_summary",
                 {
@@ -491,15 +570,47 @@ class Scanner:
             hits = set()
             start_round, start_batch = 0, 0
         tele = self.telemetry
+        # The array plane is a frozen snapshot of targets + lookup
+        # tables; when the truth/blacklist types support it, every
+        # batch below runs as vectorised column passes with identical
+        # verdicts (the parity tests and CI gate enforce this).
+        plane = None
+        if config.use_arrays and ScanPlane.supports(self.truth, self.blacklist):
+            plane = ScanPlane.build(
+                self.truth, self.blacklist, ordered, port, self.loss_rate
+            )
+        batch_size = config.batch_size
+        n = len(ordered)
         if start_round == 0:
-            if config.workers > 1 and len(ordered) > config.batch_size:
-                self._scan_pool(
-                    ordered, perm, loss_key, port, config, stats, hits,
-                    checkpoint=checkpoint, start_batch=start_batch, crash=crash,
-                )
+            if config.workers > 1 and n > batch_size:
+                if plane is not None:
+                    self._scan_pool_shared(
+                        plane, perm, loss_key, config, stats, hits,
+                        checkpoint=checkpoint, start_batch=start_batch,
+                        crash=crash,
+                    )
+                else:
+                    self._scan_pool(
+                        ordered, perm, loss_key, port, config, stats, hits,
+                        checkpoint=checkpoint, start_batch=start_batch,
+                        crash=crash,
+                    )
+            elif plane is not None:
+                for start in range(start_batch * batch_size, n, batch_size):
+                    index = start // batch_size
+                    if crash is not None:
+                        crash.check(0, index)
+                    new_hits = plane.probe_range(
+                        perm, start, min(start + batch_size, n),
+                        loss_key, stats, hits,
+                    )
+                    tele.count("scan.batches")
+                    if checkpoint is not None:
+                        checkpoint.note_batch(new_hits)
+                        checkpoint.checkpoint(0, index + 1, stats)
             else:
                 for index, batch in _iter_permuted_batches(
-                    ordered, perm, config.batch_size, start_batch
+                    ordered, perm, batch_size, start_batch
                 ):
                     if crash is not None:
                         crash.check(0, index)
@@ -519,22 +630,33 @@ class Scanner:
         # the pending set is derived from the hits at round start, so a
         # boundary checkpoint is exactly recomputable on resume.
         for round_ in range(start_round, config.retries + 1):
-            pending = self._pending_targets(ordered, perm, hits, config)
-            if not pending:
+            if plane is not None:
+                pending_hi, pending_lo = plane.pending_columns(
+                    perm, batch_size, hits
+                )
+                pending_count = len(pending_hi)
+            else:
+                pending = self._pending_targets(ordered, perm, hits, config)
+                pending_count = len(pending)
+            if not pending_count:
                 break
             key = _round_key(loss_key, round_)
             if tele.enabled:
                 tele.count("scan.retry_rounds")
-            for index, start in enumerate(
-                range(0, len(pending), config.batch_size)
-            ):
+            for index, start in enumerate(range(0, pending_count, batch_size)):
                 if crash is not None:
                     crash.check(round_, index)
-                chunk = pending[start : start + config.batch_size]
-                new_hits = _retry_batch(
-                    self.truth, self.loss_rate, key, round_, port,
-                    chunk, stats, hits,
-                )
+                if plane is not None:
+                    new_hits = plane.retry_chunk(
+                        pending_hi[start : start + batch_size],
+                        pending_lo[start : start + batch_size],
+                        key, round_, stats, hits,
+                    )
+                else:
+                    new_hits = _retry_batch(
+                        self.truth, self.loss_rate, key, round_, port,
+                        pending[start : start + batch_size], stats, hits,
+                    )
                 tele.count("scan.batches")
                 if checkpoint is not None:
                     checkpoint.note_batch(new_hits)
@@ -626,6 +748,75 @@ class Scanner:
                     merge_one()
             while futures:
                 merge_one()
+
+    def _scan_pool_shared(
+        self,
+        plane: ScanPlane,
+        perm: CyclicPermutation | None,
+        loss_key: int,
+        config: ScanConfig,
+        stats: ScanStats,
+        hits: set[int],
+        *,
+        checkpoint: "ScanCheckpointer | None" = None,
+        start_batch: int = 0,
+        crash: "WorkerCrash | None" = None,
+    ) -> None:
+        """Shard the array plane across a pool via one shm segment.
+
+        The target columns and every frozen lookup table travel once,
+        through a :class:`~repro.scanner.shm.SharedArrays` segment;
+        each task is just ``(batch_index, start, stop)`` — O(1) bytes
+        per shard regardless of target count.  Workers rebuild the
+        cyclic permutation from its (picklable, O(1)) spec and read
+        their shard's columns straight from the segment.  The parent
+        is the only process that unlinks the segment, always — a pool
+        worker crash propagates out of the executor context and the
+        ``finally`` still reclaims ``/dev/shm``.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from .shm import SharedArrays
+
+        tele = self.telemetry
+        arrays, meta = plane.shared_payload()
+        meta["loss_key"] = loss_key
+        window = config.workers * 4
+        shared = SharedArrays.create(arrays)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=config.workers,
+                initializer=_plane_pool_init,
+                initargs=(shared.spec, meta, perm, crash),
+            ) as pool:
+                futures: deque = deque()
+
+                def merge_one() -> None:
+                    index, chunk_hits, chunk_stats = futures.popleft().result()
+                    hits.update(chunk_hits)
+                    stats.merge(chunk_stats)
+                    tele.count("scan.worker_merges")
+                    if checkpoint is not None:
+                        checkpoint.note_batch(chunk_hits)
+                        checkpoint.checkpoint(0, index + 1, stats)
+
+                n = len(plane.hi)
+                batch_size = config.batch_size
+                for start in range(start_batch * batch_size, n, batch_size):
+                    index = start // batch_size
+                    futures.append(
+                        pool.submit(
+                            _plane_scan_chunk,
+                            index, start, min(start + batch_size, n),
+                        )
+                    )
+                    tele.count("scan.batches")
+                    if len(futures) >= window:
+                        merge_one()
+                while futures:
+                    merge_one()
+        finally:
+            shared.close()
 
 
 def scan_stats_snapshot(stats: ScanStats) -> MetricsSnapshot:
@@ -768,4 +959,27 @@ def _pool_scan_chunk(
     responsive = _probe_batch(
         truth, blacklist, loss_rate, loss_key, port, batch, stats, hits
     )
+    return index, responsive, stats
+
+
+def _plane_pool_init(spec: dict, meta: dict, perm, crash) -> None:
+    """Attach the shared scan plane in a pool worker (once per process)."""
+    from .shm import SharedArrays
+
+    shared = SharedArrays.attach(spec)
+    plane = ScanPlane.from_shared(meta, shared.arrays)
+    # Keep `shared` referenced so the mapping outlives this initializer.
+    _POOL_STATE["plane"] = (plane, perm, meta["loss_key"], crash, shared)
+
+
+def _plane_scan_chunk(
+    index: int, start: int, stop: int
+) -> tuple[int, list[int], ScanStats]:
+    """Probe one O(1)-described shard against the attached plane."""
+    plane, perm, loss_key, crash, _shared = _POOL_STATE["plane"]
+    if crash is not None:
+        crash.check(0, index)
+    stats = ScanStats()
+    hits: set[int] = set()
+    responsive = plane.probe_range(perm, start, stop, loss_key, stats, hits)
     return index, responsive, stats

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..ipv6.addrplane import _mix64_np  # noqa: F401  (re-export)
 from ..ipv6.prefix import Prefix
 from ..simnet.bgp import BgpTable
 
@@ -30,13 +31,6 @@ def mix64(x: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
     return x ^ (x >> 31)
-
-
-def _mix64_np(x: "np.ndarray") -> "np.ndarray":
-    """Vectorised :func:`mix64` over a uint64 array (wrapping arithmetic)."""
-    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    return x ^ (x >> np.uint64(31))
 
 
 class CyclicPermutation:
@@ -88,11 +82,20 @@ class CyclicPermutation:
         return image
 
     def permute_range(self, start: int, stop: int) -> list[int]:
-        """Images of ``start..stop-1``, computed with vectorised rounds."""
+        """Images of ``start..stop-1`` as a Python list."""
+        return self.permute_range_arr(start, stop).tolist()
+
+    def permute_range_arr(self, start: int, stop: int) -> "np.ndarray":
+        """Images of ``start..stop-1`` as a uint64 array (no boxing).
+
+        The array scan plane indexes its hi/lo target columns with this
+        directly; :meth:`permute_range` is the boxed wrapper for the
+        object path.
+        """
         if not 0 <= start <= stop <= self.n:
             raise IndexError(f"range [{start}, {stop}) outside [0, {self.n})")
         if start == stop:
-            return []
+            return np.empty(0, dtype=np.uint64)
         half = np.uint64(self._half_bits)
         mask = np.uint64(self._half_mask)
         keys = [np.uint64(k) for k in self._keys]
@@ -108,7 +111,7 @@ class CyclicPermutation:
         while walking.any():
             images[walking] = encrypt(images[walking])
             walking = images >= self.n
-        return images.tolist()
+        return images
 
 
 def interleave_by_network(

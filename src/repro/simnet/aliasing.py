@@ -13,9 +13,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..ipv6.prefix import Prefix, network_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from ..ipv6.addrplane import PrefixMaskTable
 
 
 @dataclass(frozen=True)
@@ -59,6 +64,9 @@ class AliasedRegionSet:
     _short_cache: dict[int, tuple[AliasedRegion, ...]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: port (or ``None`` for "any port") -> frozen mask table for the
+    #: array scan plane; invalidated on every mutation.
+    _frozen_tables: dict = field(default_factory=dict, repr=False, compare=False)
 
     def add(self, region: AliasedRegion) -> None:
         bucket = self._by_length[region.prefix.length]
@@ -69,6 +77,7 @@ class AliasedRegionSet:
             self._lengths.append(region.prefix.length)
             self._lengths.sort()
         self._short_cache.clear()
+        self._frozen_tables.clear()
 
     def add_prefix(self, prefix: Prefix, ports: Iterable[int] = (80,)) -> AliasedRegion:
         region = AliasedRegion(prefix, frozenset(ports))
@@ -157,6 +166,56 @@ class AliasedRegionSet:
                         break
             out.append(hit)
         return out
+
+    # -- array plane --------------------------------------------------------
+    def frozen_table(self, port: int | None = None) -> "PrefixMaskTable | None":
+        """Regions answering ``port`` as a frozen mask table.
+
+        ``port=None`` means "any port" (the ICMPv6 / :meth:`find`
+        contract: a region matches regardless of its port set).  Tables
+        are memoised per port until the next :meth:`add`; ``None`` is
+        returned when no region qualifies.
+        """
+        key = None if port is None else int(port)
+        if key in self._frozen_tables:
+            return self._frozen_tables[key]
+        networks: dict[int, list[int]] = {}
+        for length in self._lengths:
+            matching = [
+                network
+                for network, region in self._by_length[length].items()
+                if key is None or key in region.ports
+            ]
+            if matching:
+                networks[length] = matching
+        if networks:
+            from ..ipv6.addrplane import PrefixMaskTable
+
+            table = PrefixMaskTable.from_networks(networks)
+        else:
+            table = None
+        self._frozen_tables[key] = table
+        return table
+
+    def responds_arr(
+        self, hi: "np.ndarray", lo: "np.ndarray", port: int
+    ) -> "np.ndarray":
+        """Array-native :meth:`responds_many` over hi/lo uint64 columns."""
+        table = self.frozen_table(port)
+        if table is None:
+            import numpy as np
+
+            return np.zeros(len(hi), dtype=bool)
+        return table.match_any(hi, lo)
+
+    def contains_arr(self, hi: "np.ndarray", lo: "np.ndarray") -> "np.ndarray":
+        """True where *any* region (any port) contains the address."""
+        table = self.frozen_table(None)
+        if table is None:
+            import numpy as np
+
+            return np.zeros(len(hi), dtype=bool)
+        return table.match_any(hi, lo)
 
     def __iter__(self) -> Iterator[AliasedRegion]:
         for length in self._lengths:

@@ -25,9 +25,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..ipv6.prefix import Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from ..ipv6.addrplane import FrozenKeySet
 from .aliasing import AliasedRegion, AliasedRegionSet
 from .allocation import allocate_subnets, make_policy
 from .asn import AsRegistry, AutonomousSystem
@@ -93,6 +98,7 @@ class GroundTruth:
         self._hosts_by_port = hosts_by_port
         self.aliased = aliased
         self._all_hosts: set[int] | None = None
+        self._frozen_hosts: "dict[int, FrozenKeySet]" = {}
 
     def _ping_targets(self) -> set[int]:
         """All hosts on any port, memoised until the next mutation.
@@ -112,6 +118,7 @@ class GroundTruth:
         """Add an active host (invalidates the merged-host cache)."""
         self._hosts_by_port.setdefault(port, set()).add(int(addr))
         self._all_hosts = None
+        self._frozen_hosts.clear()
 
     def remove_host(self, addr: int, port: int = 80) -> None:
         """Retire a host from a port (invalidates the merged-host cache)."""
@@ -119,6 +126,7 @@ class GroundTruth:
         if hosts is not None:
             hosts.discard(int(addr))
         self._all_hosts = None
+        self._frozen_hosts.clear()
 
     def is_responsive(self, addr: int, port: int = 80, attempt: int = 0) -> bool:
         """Would one probe to ``addr``/``port`` get a response?
@@ -167,6 +175,49 @@ class GroundTruth:
                 for i, flag in zip(pending, found):
                     if flag:
                         flags[i] = True
+        return flags
+
+    def frozen_hosts(self, port: int = 80) -> "FrozenKeySet":
+        """The port's host set as a frozen sorted-key table, memoised.
+
+        Invalidated by :meth:`add_host` / :meth:`remove_host`; the
+        backing array is an immutable snapshot suitable for sharing
+        with scan workers.
+        """
+        table = self._frozen_hosts.get(port)
+        if table is None:
+            from ..ipv6.addrplane import FrozenKeySet
+
+            if port == ICMPV6:
+                hosts: Iterable[int] = self._ping_targets()
+            else:
+                hosts = self._hosts_by_port.get(port) or ()
+            table = FrozenKeySet.from_ints(hosts)
+            self._frozen_hosts[port] = table
+        return table
+
+    def responsive_many_arr(
+        self,
+        hi: "np.ndarray",
+        lo: "np.ndarray",
+        port: int = 80,
+        attempt: int = 0,
+    ) -> "np.ndarray":
+        """Array-native :meth:`responsive_many` over hi/lo uint64 columns.
+
+        Same verdicts as the scalar batch: frozen-host membership via one
+        ``searchsorted``, aliased-region fallthrough only for the misses.
+        """
+        flags = self.frozen_hosts(port).member(hi, lo)
+        if self.aliased:
+            miss = ~flags
+            if miss.any():
+                mhi, mlo = hi[miss], lo[miss]
+                if port == ICMPV6:
+                    found = self.aliased.contains_arr(mhi, mlo)
+                else:
+                    found = self.aliased.responds_arr(mhi, mlo, port)
+                flags[miss] = found
         return flags
 
     def is_aliased(self, addr: int, port: int = 80) -> bool:
