@@ -125,16 +125,22 @@ def run_full_scan(
     resume: bool = False,
     checkpoint_every: int = 16,
     crash=None,
+    gen_workers: int | None = None,
 ) -> ScanOutcome:
     """Run 6Gen per routed prefix, scan one port, and dealias the hits.
 
-    Targets stream straight from each prefix run into the scanner —
-    the union set is never materialised.  ``scan_config`` selects the
-    scan execution strategy (batch size, worker processes, retry
-    rounds); the result is identical for every config, so callers tune
-    it freely.  ``telemetry`` instruments all three stages (generation,
-    scan, dealiasing) under one ``full_scan`` span without changing any
-    of them.
+    Targets stream straight from each prefix run into the scanner as
+    packed ``(hi, lo)`` column chunks — the union set is never
+    materialised and no per-address Python ints are boxed on the way
+    in (the scanner dedupes the chunks with a fused-key array pass).
+    ``scan_config`` selects the scan execution strategy (batch size,
+    worker processes, retry rounds); the result is identical for every
+    config, so callers tune it freely.  ``gen_workers`` > 1 shards the
+    per-prefix generation across a process pool (§5.6's
+    parallelisation axis); results are bit-identical to serial because
+    every prefix run is independently seeded.  ``telemetry``
+    instruments all three stages (generation, scan, dealiasing) under
+    one ``full_scan`` span without changing any of them.
 
     ``checkpoint_path`` streams campaign progress (per-prefix
     generation events plus scan checkpoints) through a crash-safe
@@ -171,14 +177,14 @@ def run_full_scan(
         with tele.span("full_scan", budget=budget, port=port):
             run = run_per_prefix(
                 groups, budget, loose=loose, telemetry=telemetry,
-                progress_sink=ckpt_sink,
+                progress_sink=ckpt_sink, processes=gen_workers,
             )
             config = scan_config or ScanConfig()
             scanner = Scanner(
                 context.internet.truth, config=config, telemetry=telemetry
             )
             scan = scanner.scan(
-                run.iter_targets(), port=port,
+                run.iter_target_columns(), port=port,
                 checkpoint=checkpointer, resume=resume_state, crash=crash,
             )
             if dealias_hits:

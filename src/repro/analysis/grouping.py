@@ -10,12 +10,16 @@ allocation).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from ..core.sixgen import SixGenResult, run_6gen
 from ..ipv6.prefix import Prefix
 from ..telemetry.spans import Telemetry, ensure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 #: A budget allocation policy: maps (prefix, seeds, base_budget) -> budget.
 BudgetPolicy = Callable[[Prefix, Sequence[int], int], int]
@@ -49,6 +53,14 @@ class PrefixRun:
     def iter_targets(self) -> Iterator[int]:
         """Stream this prefix's generated targets (distinct, unordered)."""
         return self.result.iter_targets()
+
+    def target_columns(self) -> "tuple[np.ndarray, np.ndarray]":
+        """This prefix's targets as packed ``(hi, lo)`` uint64 columns.
+
+        Densest-cluster-first order (the paper's probing priority);
+        cached on the result, so repeated calls are free.
+        """
+        return self.result.target_columns_by_density()
 
 
 @dataclass
@@ -85,6 +97,21 @@ class MultiPrefixRun:
         for prefix in sorted(self.runs):
             yield from self.runs[prefix].iter_targets()
 
+    def iter_target_columns(
+        self,
+    ) -> "Iterator[tuple[np.ndarray, np.ndarray]]":
+        """Stream packed ``(hi, lo)`` column chunks prefix by prefix.
+
+        The column analogue of :meth:`iter_targets`: one chunk per
+        prefix, in sorted prefix order, each in densest-cluster-first
+        order, never materialising the campaign union.  Overlapping
+        routed prefixes can repeat an address across chunks;
+        :meth:`Scanner.scan` dedupes streamed column chunks with its
+        fused-key pass, so feeding this straight in is correct.
+        """
+        for prefix in sorted(self.runs):
+            yield self.runs[prefix].target_columns()
+
     def new_targets(self) -> set[int]:
         """Generated targets excluding every prefix's own seeds."""
         targets = self.all_targets()
@@ -108,6 +135,57 @@ def _run_one(
         seeds, prefix_budget, loose=loose, ledger=ledger, rng_seed=rng_seed
     )
     return prefix, seeds, prefix_budget, result
+
+
+#: Below this many column bytes a worker ships arrays in the result
+#: pickle directly; above it, through a shared-memory segment (two raw
+#: uint64 buffers copy through shm far cheaper than pickling them into
+#: the executor's result pipe).
+_COLUMN_SHM_MIN_BYTES = 1 << 16
+
+
+def _run_one_columns(
+    args: tuple[Prefix, list[int], int, bool, str, int | None],
+) -> tuple[Prefix, list[int], int, SixGenResult, tuple]:
+    """Pool worker that also materialises packed target columns.
+
+    The expensive part of a prefix run after clustering — expanding the
+    winning ranges into concrete addresses — happens *here*, in the
+    worker, so it parallelises with the other prefixes instead of
+    serialising in the parent.  The result is stripped of its boxed-int
+    target set before pickling (the columns are the targets), and the
+    columns travel back through the PR 6 shared-memory transport in the
+    reverse direction (:func:`~repro.scanner.shm.publish_arrays`) when
+    large, or inline in the result pickle when small.
+    """
+    from ..scanner.shm import publish_arrays
+
+    prefix, seeds, prefix_budget, loose, ledger, rng_seed = args
+    result = run_6gen(
+        seeds, prefix_budget, loose=loose, ledger=ledger, rng_seed=rng_seed
+    )
+    hi, lo = result.target_columns_by_density()
+    result._targets = None
+    result._columns = None
+    if hi.nbytes + lo.nbytes >= _COLUMN_SHM_MIN_BYTES:
+        try:
+            spec = publish_arrays({"hi": hi, "lo": lo})
+        except OSError:  # pragma: no cover - /dev/shm unavailable
+            pass
+        else:
+            return prefix, seeds, prefix_budget, result, ("shm", spec)
+    return prefix, seeds, prefix_budget, result, ("raw", hi, lo)
+
+
+def _adopt_columns(result: SixGenResult, payload: tuple) -> None:
+    """Parent-side: reattach a worker's shipped columns to its result."""
+    if payload[0] == "shm":
+        from ..scanner.shm import consume_arrays
+
+        arrays = consume_arrays(payload[1])
+        result._columns = (arrays["hi"], arrays["lo"])
+    else:
+        result._columns = (payload[1], payload[2])
 
 
 def run_per_prefix(
@@ -162,6 +240,9 @@ def run_per_prefix(
         work.append((prefix, seeds, prefix_budget, loose, ledger, rng_seed))
 
     out = MultiPrefixRun()
+    started = time.perf_counter()
+    targets_total = 0
+    targets_known = True
     with tele.span("generate", prefixes=len(work), budget=budget):
         if processes and processes > 1 and len(work) > 1:
             from concurrent.futures import ProcessPoolExecutor
@@ -176,10 +257,15 @@ def run_per_prefix(
             # poisoned prefix surfaces from exactly its own future.
             work.sort(key=lambda item: (-len(item[1]), item[0]))
             with ProcessPoolExecutor(max_workers=processes) as pool:
-                futures = [(item, pool.submit(_run_one, item)) for item in work]
+                futures = [
+                    (item, pool.submit(_run_one_columns, item))
+                    for item in work
+                ]
                 for item, future in futures:
                     try:
-                        prefix, seeds, prefix_budget, result = future.result()
+                        prefix, seeds, prefix_budget, result, payload = (
+                            future.result()
+                        )
                     except Exception:
                         if not isolate_failures:
                             raise
@@ -188,56 +274,112 @@ def run_per_prefix(
                         # would have produced.
                         tele.count("generate.prefix_retries")
                         try:
-                            prefix, seeds, prefix_budget, result = _run_one(item)
+                            prefix, seeds, prefix_budget, result, payload = (
+                                _run_one_columns(item)
+                            )
                         except Exception as exc2:
                             _record_prefix_failure(
                                 tele, out, item[0], exc2, len(work),
                                 progress_sink,
                             )
                             continue
+                    _adopt_columns(result, payload)
                     out.runs[prefix] = PrefixRun(
                         prefix=prefix, seeds=seeds, budget=prefix_budget,
                         result=result,
                     )
+                    # Per-prefix attribution: in-process sixgen spans
+                    # cannot cross the pool, so the worker's wall time
+                    # and target count ride on this collection-side
+                    # span instead.
+                    targets = len(result._columns[0])
+                    targets_total += targets
+                    if tele.enabled:
+                        tele.count("generate.targets_total", targets)
+                        with tele.span(
+                            "generate.prefix",
+                            prefix=str(prefix),
+                            seeds=len(seeds),
+                            targets=targets,
+                            worker_elapsed=result.elapsed_seconds,
+                        ):
+                            pass
                     _record_prefix_run(
-                        tele, out.runs[prefix], len(work), progress_sink
+                        tele, out.runs[prefix], len(work), progress_sink,
+                        targets=targets,
                     )
         else:
             for item in work:
                 prefix, seeds, prefix_budget, loose_, ledger_, seed_ = item
+                # The per-prefix span wraps the whole attempt (retry
+                # included) so `repro report` can attribute generation
+                # time prefix by prefix; run_6gen's own sixgen span —
+                # which carries generate.targets_total — nests inside.
                 try:
-                    result = run_6gen(
-                        seeds, prefix_budget, loose=loose_, ledger=ledger_,
-                        rng_seed=seed_, telemetry=telemetry,
-                    )
-                except Exception:
+                    with tele.span(
+                        "generate.prefix",
+                        prefix=str(prefix), seeds=len(seeds),
+                    ):
+                        try:
+                            result = run_6gen(
+                                seeds, prefix_budget, loose=loose_,
+                                ledger=ledger_, rng_seed=seed_,
+                                telemetry=telemetry,
+                            )
+                        except Exception:
+                            if not isolate_failures:
+                                raise
+                            tele.count("generate.prefix_retries")
+                            result = run_6gen(
+                                seeds, prefix_budget, loose=loose_,
+                                ledger=ledger_, rng_seed=seed_,
+                                telemetry=telemetry,
+                            )
+                except Exception as exc2:
                     if not isolate_failures:
                         raise
-                    tele.count("generate.prefix_retries")
-                    try:
-                        result = run_6gen(
-                            seeds, prefix_budget, loose=loose_, ledger=ledger_,
-                            rng_seed=seed_, telemetry=telemetry,
-                        )
-                    except Exception as exc2:
-                        _record_prefix_failure(
-                            tele, out, prefix, exc2, len(work), progress_sink
-                        )
-                        continue
+                    _record_prefix_failure(
+                        tele, out, prefix, exc2, len(work), progress_sink
+                    )
+                    continue
                 out.runs[prefix] = PrefixRun(
                     prefix=prefix, seeds=seeds, budget=prefix_budget,
                     result=result,
                 )
+                if result._targets is not None:
+                    targets = len(result._targets)
+                    targets_total += targets
+                else:
+                    targets = None
+                    targets_known = False
                 _record_prefix_run(
-                    tele, out.runs[prefix], len(work), progress_sink
+                    tele, out.runs[prefix], len(work), progress_sink,
+                    targets=targets,
                 )
+    elapsed = time.perf_counter() - started
+    if tele.enabled and targets_known and out.runs and elapsed > 0:
+        # Campaign-level rate; overwrites any per-run gauge from the
+        # serial path's nested run_6gen calls (last write wins), which
+        # is the value `repro report` should show.
+        tele.gauge("generate.targets_per_sec", targets_total / elapsed)
     return out
 
 
 def _record_prefix_run(
-    telemetry: Telemetry, run: PrefixRun, total: int, sink=None
+    telemetry: Telemetry,
+    run: PrefixRun,
+    total: int,
+    sink=None,
+    *,
+    targets: int | None = None,
 ) -> None:
-    """Per-prefix progress accounting (no-op for null telemetry)."""
+    """Per-prefix progress accounting (no-op for null telemetry).
+
+    ``targets`` is the prefix's distinct generated-target count when the
+    caller knows it (exact ledger or column path); ``None`` means
+    unknown (range-sum ledger, where materialising the set just to
+    count it would defeat the ledger's purpose).
+    """
     if sink is not None:
         sink.emit(
             {
@@ -252,17 +394,17 @@ def _record_prefix_run(
     telemetry.count("generate.prefixes")
     telemetry.count("generate.budget_used", run.result.budget_used)
     telemetry.count("generate.clusters", len(run.result.clusters))
-    telemetry.event(
-        "progress",
-        {
-            "stage": "6gen",
-            "prefix": str(run.prefix),
-            "seeds": len(run.seeds),
-            "budget_used": run.result.budget_used,
-            "iterations": run.result.iterations,
-            "total_prefixes": total,
-        },
-    )
+    event = {
+        "stage": "6gen",
+        "prefix": str(run.prefix),
+        "seeds": len(run.seeds),
+        "budget_used": run.result.budget_used,
+        "iterations": run.result.iterations,
+        "total_prefixes": total,
+    }
+    if targets is not None:
+        event["targets"] = targets
+    telemetry.event("progress", event)
 
 
 def _record_prefix_failure(

@@ -485,7 +485,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import scan_report
 
     context = standard_context(args.scale)
-    outcome = run_full_scan(context, args.budget)
+    outcome = run_full_scan(
+        context, args.budget, gen_workers=getattr(args, "gen_workers", None)
+    )
     text = scan_report(
         outcome,
         title=f"IPv6 scan report (scale {args.scale}, budget {args.budget}/prefix)",
@@ -691,6 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--budget", type=int, default=5_000)
     p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument(
+        "--gen-workers", type=int, default=None, metavar="N",
+        help="shard per-prefix 6Gen generation across N processes "
+             "(identical output; default: serial)",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("experiment", help="run a paper experiment")

@@ -37,9 +37,10 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..ipv6.addrplane import ColumnDeduper, concat_columns, pack, unpack
 from ..ipv6.nybble import FULL_MASK, NYBBLE_COUNT, popcount16
 from ..ipv6.nybble_tree import NybbleTree
-from ..ipv6.range_ import NybbleRange
+from ..ipv6.range_ import NybbleRange, expand_range_arr
 from ..telemetry.spans import Telemetry, ensure
 from .budget import BudgetExceeded, ExactLedger, make_ledger
 from .candidates import SeedMatrix, find_candidates_python
@@ -101,6 +102,13 @@ class SixGenResult:
     sampled: list[int] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     _targets: set[int] | None = None
+    # Cached densest-first (hi, lo) columns.  Populated by
+    # target_columns_by_density() and by the parallel per-prefix
+    # transport (see repro.analysis.grouping), which ships columns via
+    # shared memory instead of pickling the _targets set.
+    _columns: "tuple[np.ndarray, np.ndarray] | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def singleton_clusters(self) -> list[Cluster]:
         """Clusters that never grew past their founding seed (Fig. 5a)."""
@@ -117,10 +125,15 @@ class SixGenResult:
     def target_set(self) -> set[int]:
         """All distinct generated target addresses, seeds included."""
         if self._targets is None:
-            targets: set[int] = set(self.sampled)
-            for cluster in self.clusters:
-                targets.update(cluster.range.iter_ints())
-            self._targets = targets
+            if self._columns is not None:
+                # Rebuilt from columns: the parallel per-prefix path
+                # ships (hi, lo) columns and drops the big-int set.
+                self._targets = set(unpack(*self._columns))
+            else:
+                targets: set[int] = set(self.sampled)
+                for cluster in self.clusters:
+                    targets.update(cluster.range.iter_ints())
+                self._targets = targets
         return self._targets
 
     def iter_targets(self) -> Iterator[int]:
@@ -173,6 +186,73 @@ class SixGenResult:
             if addr not in emitted:
                 emitted.add(addr)
                 yield addr
+
+    def target_columns(self) -> "tuple[np.ndarray, np.ndarray]":
+        """All distinct targets as packed ``(hi, lo)`` uint64 columns.
+
+        Generation order: clusters as stored, each ascending, then the
+        final-growth sampled addresses; overlap deduplicated first-seen.
+        Covers exactly :meth:`target_set` without boxing any ints.
+        """
+        dedupe = ColumnDeduper()
+        expanded = [expand_range_arr(c.range) for c in self.clusters]
+        chunks = [dedupe.add(*concat_columns(expanded))]
+        if self.sampled:
+            chunks.append(dedupe.add(*pack(self.sampled)))
+        return concat_columns(chunks)
+
+    def target_columns_by_density(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Packed-column form of :meth:`iter_targets_by_density`.
+
+        Emits the exact scalar sequence — densest cluster first, ties
+        broken by smaller range, sampled addresses last, first-seen
+        dedupe throughout — as ``(hi, lo)`` columns built by vectorised
+        range expansion.  When the run used the exact budget ledger,
+        its covered count bounds the walk the same way the scalar
+        generator's ``remaining`` set does: expansion stops at the
+        first cluster boundary where every target has been emitted.
+
+        The result is cached (the parallel per-prefix transport reuses
+        it); callers that mutate the arrays must copy first.
+        """
+        if self._columns is not None:
+            return self._columns
+        ordered = sorted(
+            self.clusters, key=lambda c: (-c.density(), c.range.size())
+        )
+        total = len(self._targets) if self._targets is not None else None
+        dedupe = ColumnDeduper()
+        chunks = []
+        # Clusters expand into small per-cluster arrays; feeding each
+        # one to the deduper separately would drown in per-call
+        # overhead, so they accumulate into batches first.  Batch
+        # boundaries are invisible in the output (first-seen order is
+        # chunking-independent); they only coarsen the early stop,
+        # which skips work but never changes the emitted sequence —
+        # clusters past the point where every target has been seen
+        # contribute nothing but duplicates.
+        pending: list = []
+        pending_size = 0
+        for cluster in ordered:
+            if (
+                total is not None
+                and not pending
+                and len(dedupe) >= total
+            ):
+                break
+            cols = expand_range_arr(cluster.range)
+            pending.append(cols)
+            pending_size += len(cols[0])
+            if pending_size >= 65536:
+                chunks.append(dedupe.add(*concat_columns(pending)))
+                pending, pending_size = [], 0
+        if pending:
+            chunks.append(dedupe.add(*concat_columns(pending)))
+        if self.sampled and (total is None or len(dedupe) < total):
+            chunks.append(dedupe.add(*pack(self.sampled)))
+        columns = concat_columns(chunks)
+        self._columns = columns
+        return columns
 
     def dynamic_nybble_indices(self) -> set[int]:
         """Union of dynamic nybble positions across cluster ranges (Fig. 6)."""
@@ -632,6 +712,16 @@ class SixGen:
             tele.count("sixgen.budget_used", result.budget_used)
             tele.count("sixgen.sampled_targets", len(result.sampled))
             tele.observe("sixgen.run_seconds", result.elapsed_seconds)
+            if result._targets is not None:
+                # generate.* metrics: the generation plane's output
+                # rate, comparable across 6Gen and Entropy/IP runs.
+                targets_total = len(result._targets)
+                tele.count("generate.targets_total", targets_total)
+                if result.elapsed_seconds > 0:
+                    tele.gauge(
+                        "generate.targets_per_sec",
+                        targets_total / result.elapsed_seconds,
+                    )
             tele.event(
                 "sixgen_summary",
                 {

@@ -70,6 +70,8 @@ def expand_ranges(
     expansion of disjoint ranges runs in O(1) auxiliary memory instead
     of holding every emitted address in a set.
     """
+    if limit is not None and limit <= 0:
+        return
     range_list = list(ranges)
     # A range needs dedup tracking only if its masks intersect some
     # other range's masks at every position (NybbleRange.overlaps).

@@ -136,6 +136,152 @@ def fuse_ints(addrs: Iterable[int]) -> np.ndarray:
     return fuse(*pack(list(addrs)))
 
 
+# -- column-level set operations --------------------------------------------
+def is_columns(obj) -> bool:
+    """True if ``obj`` is a packed ``(hi, lo)`` column pair.
+
+    The target-source detection used by the scan/generation handoff:
+    a 2-tuple of equal-length 1-D uint64 arrays.
+    """
+    return (
+        isinstance(obj, tuple)
+        and len(obj) == 2
+        and isinstance(obj[0], np.ndarray)
+        and isinstance(obj[1], np.ndarray)
+        and obj[0].dtype == np.uint64
+        and obj[1].dtype == np.uint64
+        and obj[0].ndim == 1
+        and obj[0].shape == obj[1].shape
+    )
+
+
+def concat_columns(
+    chunks: Sequence[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate column chunks into one ``(hi, lo)`` pair."""
+    parts = [c for c in chunks if len(c[0])]
+    if not parts:
+        empty = np.empty(0, dtype=np.uint64)
+        return empty, empty
+    if len(parts) == 1:
+        return parts[0]
+    return (
+        np.concatenate([c[0] for c in parts]),
+        np.concatenate([c[1] for c in parts]),
+    )
+
+
+def dedupe_columns(
+    hi: np.ndarray, lo: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """First-seen dedupe of address columns, order-preserving.
+
+    ``np.unique`` over the fused keys yields the first-occurrence index
+    of every distinct address; sorting those indices reconstructs the
+    insertion order — the exact sequence ``dict.fromkeys`` produces on
+    the unpacked list, without boxing a single int.
+    """
+    if not len(hi):
+        return hi, lo
+    first = _first_occurrence(hi, lo)[2]
+    if len(first) == len(hi):
+        return hi, lo
+    first.sort()
+    return hi[first], lo[first]
+
+
+def _first_occurrence(
+    hi: np.ndarray, lo: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct addresses in ascending order plus first-seen indices.
+
+    Returns ``(sorted_hi, sorted_lo, first)`` where ``first`` holds the
+    input index of each distinct address's first occurrence, aligned
+    with the sorted columns.  A numeric ``lexsort`` over the uint64
+    halves replaces ``np.unique`` on fused S16 keys — integer compares
+    beat 16-byte memcmps by a wide margin, and lexsort's stability is
+    what makes ``first`` the *first* occurrence.
+    """
+    if len(hi) > 1:
+        ascending = bool(
+            ((hi[1:] > hi[:-1]) | ((hi[1:] == hi[:-1]) & (lo[1:] > lo[:-1]))).all()
+        )
+    else:
+        ascending = True
+    if ascending:
+        # Already strictly ascending (the common case: one range
+        # expands in address order) — nothing to sort or dedupe.
+        return hi, lo, np.arange(len(hi))
+    order = np.lexsort((lo, hi))
+    shi, slo = hi[order], lo[order]
+    dup = (shi[1:] == shi[:-1]) & (slo[1:] == slo[:-1])
+    keep = np.concatenate(([True], ~dup))
+    return shi[keep], slo[keep], order[keep]
+
+
+class ColumnDeduper:
+    """Streaming first-seen dedupe across column chunks.
+
+    Feed chunks through :meth:`add`; each call returns the chunk's
+    fresh addresses (never seen in any earlier chunk or earlier in this
+    one) in their first-seen order.  Concatenating the outputs equals
+    ``dict.fromkeys`` over the concatenated unpacked input — the
+    invariant that lets generation stream columns prefix-to-prefix into
+    the scanner without materialising a global boxed list.
+
+    Seen keys live in a small stack of sorted runs merged geometrically
+    (each run at least double the one above it), so ``n`` addresses
+    arriving in many small chunks cost O(n log² n) total instead of the
+    O(n²) a single re-inserted sorted array would — the difference is
+    decisive when a prefix emits one chunk per cluster.
+    """
+
+    __slots__ = ("_runs",)
+
+    def __init__(self) -> None:
+        self._runs: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        """Number of distinct addresses seen so far."""
+        return sum(len(run) for run in self._runs)
+
+    def add(
+        self, hi: np.ndarray, lo: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not len(hi):
+            return hi, lo
+        shi, slo, first = _first_occurrence(hi, lo)
+        uniq = fuse(shi, slo)
+        for run in self._runs:
+            if not len(uniq):
+                break
+            pos = np.searchsorted(run, uniq)
+            pos[pos == len(run)] = 0
+            fresh = run[pos] != uniq
+            uniq, first = uniq[fresh], first[fresh]
+        if not len(uniq):
+            return hi[:0], lo[:0]
+        self._runs.append(uniq)
+        while (
+            len(self._runs) > 1
+            and len(self._runs[-2]) < 2 * len(self._runs[-1])
+        ):
+            top = self._runs.pop()
+            base = self._runs.pop()
+            # Both runs are sorted and disjoint: one searchsorted plus
+            # two scatter copies beats re-sorting S16 keys by a wide
+            # margin (and ``np.insert``'s per-call overhead).
+            idx = np.searchsorted(base, top) + np.arange(len(top))
+            merged = np.empty(len(base) + len(top), dtype=base.dtype)
+            at_top = np.zeros(len(merged), dtype=bool)
+            at_top[idx] = True
+            merged[idx] = top
+            merged[~at_top] = base
+            self._runs.append(merged)
+        first.sort()
+        return hi[first], lo[first]
+
+
 # -- frozen lookup tables ---------------------------------------------------
 class FrozenKeySet:
     """An immutable address set with vectorised membership tests.

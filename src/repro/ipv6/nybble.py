@@ -13,6 +13,7 @@ integer form, nybble tuples, and hexadecimal digits.
 
 from __future__ import annotations
 
+import functools
 from typing import Iterable, Sequence
 
 #: Number of nybbles in an IPv6 address.
@@ -113,8 +114,13 @@ def mask_of(values: Iterable[int]) -> int:
     return mask
 
 
+@functools.lru_cache(maxsize=None)
 def mask_values(mask: int) -> tuple[int, ...]:
-    """Tuple of nybble values allowed by a 16-bit mask, ascending."""
+    """Tuple of nybble values allowed by a 16-bit mask, ascending.
+
+    Cached: there are at most 2**16 masks and range expansion asks for
+    the same handful tens of thousands of times per emission.
+    """
     return tuple(v for v in range(16) if mask & (1 << v))
 
 

@@ -24,6 +24,8 @@ import random
 import re
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from .address import AddressError
 from .nybble import (
     FULL_MASK,
@@ -498,6 +500,146 @@ class NybbleRange:
             return self.contains(int(addr))
         except (TypeError, ValueError, AddressError):
             return False
+
+
+# -- column-native expansion (generation plane) -----------------------------
+def _expand_half_arr(masks: Sequence[int]) -> np.ndarray:
+    """Cartesian product of 16 nybble positions as one uint64 column.
+
+    Fixed positions fold into one constant; each dynamic position then
+    contributes a single repeat/tile pass over the full-size output —
+    leftmost varying slowest, exactly the ``itertools.product`` order
+    of :meth:`NybbleRange.iter_ints`.  One full-size array op per
+    *dynamic* position (typically 1–3) instead of one per position.
+    """
+    size = 1
+    const = 0
+    dynamic: list[tuple[int, tuple[int, ...]]] = []
+    for i, m in enumerate(masks):
+        shift = 4 * (len(masks) - 1 - i)
+        values = mask_values(m)
+        if len(values) == 1:
+            const |= values[0] << shift
+        else:
+            dynamic.append((shift, values))
+            size *= len(values)
+    out = np.full(size, np.uint64(const), dtype=np.uint64)
+    stride = size
+    for shift, values in dynamic:
+        stride //= len(values)
+        shifted = np.array([v << shift for v in values], dtype=np.uint64)
+        block = np.repeat(shifted, stride)
+        if len(block) == size:
+            out |= block
+        else:
+            out |= np.tile(block, size // len(block))
+    return out
+
+
+def _expand_prefix_arr(
+    masks: Sequence[int], n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The first ``n`` addresses of the product set, as hi/lo columns.
+
+    The product order is a mixed-radix counter (rightmost position is
+    the fastest digit), so address ``j`` decodes positionally:
+    ``digit = (j // stride) % count`` with ``stride`` the product of all
+    value counts to the right.  Positions whose stride already exceeds
+    ``n`` never advance and contribute their first value as a constant.
+    """
+    idx = np.arange(n, dtype=np.uint64)
+    hi = np.zeros(n, dtype=np.uint64)
+    lo = np.zeros(n, dtype=np.uint64)
+    stride = 1
+    for pos in range(NYBBLE_COUNT - 1, -1, -1):
+        values = mask_values(masks[pos])
+        count = len(values)
+        nybble_index = NYBBLE_COUNT - 1 - pos  # 0 = least significant
+        column = hi if nybble_index >= 16 else lo
+        shift = np.uint64(4 * (nybble_index % 16))
+        if count == 1 or stride >= n:
+            if values[0]:
+                column |= np.uint64(values[0]) << shift
+        else:
+            digits = (idx // np.uint64(stride)) % np.uint64(count)
+            column |= np.array(values, dtype=np.uint64)[digits] << shift
+        stride *= count
+    return hi, lo
+
+
+def expand_range_arr(
+    range_: NybbleRange, *, limit: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise a range directly into packed ``(hi, lo)`` columns.
+
+    Column-native counterpart of :meth:`NybbleRange.iter_ints`: the
+    output order is exactly the scalar iteration order (ascending), and
+    with ``limit`` the first ``limit`` addresses of that order.  No
+    Python big-ints are boxed along the way.  As with ``iter_ints``, the
+    caller is responsible for keeping ``min(size, limit)`` sane.
+    """
+    size = range_.size()
+    n = size if limit is None else min(limit, size)
+    if n <= 0:
+        empty = np.empty(0, dtype=np.uint64)
+        return empty, empty
+    if n < size:
+        return _expand_prefix_arr(range_.masks, n)
+    hi = _expand_half_arr(range_.masks[:16])
+    lo = _expand_half_arr(range_.masks[16:])
+    return np.repeat(hi, len(lo)), np.tile(lo, len(hi))
+
+
+def expand_ranges_arr(
+    ranges: Iterable[NybbleRange], *, limit: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Column-native :func:`repro.datasets.rangelist.expand_ranges`.
+
+    Same contract as the scalar version: distinct addresses, ranges
+    expanded in the given order (each ascending internally), optionally
+    capped at ``limit`` total.  Only ranges that overlap another range
+    in the list pay for dedupe tracking — pairwise-disjoint ranges
+    cannot repeat an address, exactly mirroring the scalar code's
+    ``seen``-set gating, so the emitted sequence is bit-identical.
+
+    One divergence in *cost* (not output): a tracked range is expanded
+    fully before the cap is applied, where the scalar generator stops
+    mid-iteration.  6Gen cluster lists are budget-bounded, so this does
+    not matter in practice.
+    """
+    from .addrplane import ColumnDeduper
+
+    range_list = list(ranges)
+    overlapping = [
+        any(
+            i != j and range_.overlaps(other)
+            for j, other in enumerate(range_list)
+        )
+        for i, range_ in enumerate(range_list)
+    ]
+    dedupe = ColumnDeduper()
+    parts_hi: list[np.ndarray] = []
+    parts_lo: list[np.ndarray] = []
+    emitted = 0
+    for range_, tracked in zip(range_list, overlapping):
+        remaining = None if limit is None else limit - emitted
+        if remaining is not None and remaining <= 0:
+            break
+        hi, lo = expand_range_arr(
+            range_, limit=None if tracked else remaining
+        )
+        if tracked:
+            hi, lo = dedupe.add(hi, lo)
+            if remaining is not None and len(hi) > remaining:
+                hi, lo = hi[:remaining], lo[:remaining]
+        if len(hi):
+            parts_hi.append(hi)
+            parts_lo.append(lo)
+            emitted += len(hi)
+    if not parts_hi:
+        empty = np.empty(0, dtype=np.uint64)
+        return empty, empty
+    return np.concatenate(parts_hi), np.concatenate(parts_lo)
 
 
 def spanning_range(addrs: Iterable[int], loose: bool = True) -> NybbleRange:

@@ -51,12 +51,23 @@ Robustness extensions (all default-off, all parity-preserving):
 
 from __future__ import annotations
 
+import itertools
 import random
 import time
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
+import numpy as np
+
+from ..ipv6.addrplane import (
+    ColumnDeduper,
+    concat_columns,
+    dedupe_columns,
+    fuse,
+    is_columns,
+    unpack,
+)
 from ..simnet.ground_truth import GroundTruth
 from ..telemetry.metrics import MetricsSnapshot
 from ..telemetry.spans import Telemetry, ensure
@@ -94,6 +105,56 @@ def _loss_prf(key: int, addr: int) -> float:
     h = mix64(key ^ (addr & _M64))
     h = mix64(h ^ (addr >> 64))
     return h / 18446744073709551616.0  # 2**64
+
+
+def _columns_to_list(cols: "tuple[np.ndarray, np.ndarray]") -> list[int]:
+    """Unpack target columns into the boxed ordered list.
+
+    Isolated (instead of calling ``unpack`` inline) so tests can assert
+    the pure column path never materialises a boxed list.
+    """
+    return unpack(cols[0], cols[1])
+
+
+def _normalize_targets(
+    targets,
+) -> "tuple[list[int] | None, tuple[np.ndarray, np.ndarray] | None]":
+    """Split a target source into ``(ordered ints, packed columns)``.
+
+    Exactly one of the two is non-None.  Accepted sources:
+
+    * packed ``(hi, lo)`` columns, or an iterable of column chunks (the
+      generation plane's streaming handoff) — deduplicated first-seen
+      via fused-key sort/unique, never boxing an int;
+    * a ``list`` of ints — deduplicated without the ``map(int, ...)``
+      re-boxing pass (elements are assumed type-homogeneous, judged by
+      the first, the same idiom ``addrplane.pack`` uses);
+    * any other iterable — the original coerce-and-dedupe path.
+
+    Every variant preserves first-seen order, so probe order — and
+    therefore loss outcomes — stay deterministic and identical across
+    input forms.
+    """
+    if is_columns(targets):
+        return None, dedupe_columns(*targets)
+    if isinstance(targets, list):
+        if not targets or isinstance(targets[0], int):
+            return list(dict.fromkeys(targets)), None
+        return list(dict.fromkeys(map(int, targets))), None
+    iterator = iter(targets)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return [], None
+    if is_columns(first):
+        dedupe = ColumnDeduper()
+        chunks = [dedupe.add(*first)]
+        chunks.extend(dedupe.add(*chunk) for chunk in iterator)
+        return None, concat_columns(chunks)
+    return (
+        list(dict.fromkeys(map(int, itertools.chain((first,), iterator)))),
+        None,
+    )
 
 
 def _round_key(loss_key: int, round_: int) -> int:
@@ -376,9 +437,28 @@ class Scanner:
         batched path.
         """
         config = self.config
-        ordered = list(dict.fromkeys(map(int, targets)))
-        if not shuffle:
+        ordered, cols = _normalize_targets(targets)
+        if cols is not None:
+            plane_ok = (
+                config.use_batched
+                and config.use_arrays
+                and ScanPlane.supports(self.truth, self.blacklist)
+            )
+            if not shuffle:
+                # Fused-key argsort == numeric ascending == the scalar
+                # path's ordered.sort() on the unpacked list.
+                order = np.argsort(fuse(*cols))
+                cols = (cols[0][order], cols[1][order])
+            if not plane_ok or checkpoint is not None or resume is not None:
+                # The reference/object paths walk boxed ints, and the
+                # checkpoint digest is defined over them; the plane
+                # keeps the columns whenever it can use them.
+                ordered = _columns_to_list(cols)
+                if not plane_ok:
+                    cols = None
+        elif not shuffle:
             ordered.sort()
+        n = len(ordered) if ordered is not None else len(cols[0])
         # Both paths draw the same keys in the same order so reference
         # and batched scans consume _order_rng identically — and a
         # resumed scan still draws them (then discards them in favour
@@ -399,13 +479,13 @@ class Scanner:
         if resume is not None:
             if (
                 resume.digest != digest
-                or resume.target_count != len(ordered)
+                or resume.target_count != n
                 or resume.port != port
                 or resume.retries != config.retries
             ):
                 raise ValueError(
                     "checkpoint does not match this scan "
-                    f"(targets={len(ordered)}/{resume.target_count}, "
+                    f"(targets={n}/{resume.target_count}, "
                     f"port={port}/{resume.port}, "
                     f"retries={config.retries}/{resume.retries}, "
                     "digest "
@@ -421,15 +501,15 @@ class Scanner:
                     port=port, hits=set(resume.hits), stats=resume.stats.copy()
                 )
         perm = (
-            CyclicPermutation(len(ordered), perm_key)
-            if shuffle and len(ordered) > 1
+            CyclicPermutation(n, perm_key)
+            if shuffle and n > 1
             else None
         )
         if checkpoint is not None:
             checkpoint.begin(
                 perm_key=perm_key,
                 loss_key=loss_key,
-                targets=len(ordered),
+                targets=n,
                 digest=digest,
                 port=port,
                 retries=config.retries,
@@ -445,13 +525,14 @@ class Scanner:
                 )
         tele = self.telemetry
         with tele.span(
-            "scan", port=port, targets=len(ordered), workers=config.workers
+            "scan", port=port, targets=n, workers=config.workers
         ):
             start = time.perf_counter()
             if config.use_batched:
                 result = self._scan_batched(
                     ordered, perm, loss_key, port, config,
                     checkpoint=checkpoint, resume=resume, crash=crash,
+                    cols=cols,
                 )
             else:
                 result = self._scan_reference(ordered, perm, loss_key, port, config)
@@ -459,7 +540,7 @@ class Scanner:
         self.total_probes += result.stats.probes_sent + result.stats.retransmits
         if tele.enabled:
             tele.count("scan.runs")
-            tele.count("scan.targets", len(ordered))
+            tele.count("scan.targets", n)
             tele.count("scan.hits", len(result.hits))
             # One conversion from the final (parity-gated) stats for
             # every execution path, so counter totals are identical for
@@ -483,7 +564,7 @@ class Scanner:
                 "scan_summary",
                 {
                     "port": port,
-                    "targets": len(ordered),
+                    "targets": n,
                     "hits": len(result.hits),
                     "probes_sent": result.stats.probes_sent,
                     "blacklisted": result.stats.blacklisted,
@@ -551,7 +632,7 @@ class Scanner:
 
     def _scan_batched(
         self,
-        ordered: list[int],
+        ordered: list[int] | None,
         perm: CyclicPermutation | None,
         loss_key: int,
         port: int,
@@ -560,7 +641,11 @@ class Scanner:
         checkpoint: "ScanCheckpointer | None" = None,
         resume: "ResumeState | None" = None,
         crash: "WorkerCrash | None" = None,
+        cols: "tuple[np.ndarray, np.ndarray] | None" = None,
     ) -> ScanResult:
+        # ``ordered`` is None only on the pure column path, where the
+        # caller guarantees the array plane applies (so the object-path
+        # branches below, which need boxed ints, are unreachable).
         if resume is not None:
             stats = resume.stats.copy()
             hits = set(resume.hits)
@@ -577,10 +662,14 @@ class Scanner:
         plane = None
         if config.use_arrays and ScanPlane.supports(self.truth, self.blacklist):
             plane = ScanPlane.build(
-                self.truth, self.blacklist, ordered, port, self.loss_rate
+                self.truth,
+                self.blacklist,
+                cols if cols is not None else ordered,
+                port,
+                self.loss_rate,
             )
         batch_size = config.batch_size
-        n = len(ordered)
+        n = len(cols[0]) if cols is not None else len(ordered)
         if start_round == 0:
             if config.workers > 1 and n > batch_size:
                 if plane is not None:

@@ -114,13 +114,22 @@ class ScanPlane:
         cls,
         truth: GroundTruth,
         blacklist: Blacklist,
-        ordered: list[int],
+        targets: "list[int] | tuple[np.ndarray, np.ndarray]",
         port: int,
         loss_rate: float,
     ) -> "ScanPlane":
+        """Freeze a scan context over targets.
+
+        ``targets`` is either a deduplicated ordered list of int
+        addresses (packed here) or already-packed ``(hi, lo)`` columns
+        from the generation plane, adopted without conversion.
+        """
         from ..faults.ground import FaultyGroundTruth
 
-        hi, lo = pack(ordered)
+        if isinstance(targets, tuple):
+            hi, lo = targets
+        else:
+            hi, lo = pack(targets)
         fault = truth.fault if isinstance(truth, FaultyGroundTruth) else None
         return cls(
             hi,

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..ipv6.addrplane import _mix64_np  # noqa: F401  (re-export)
+from ..ipv6.addrplane import dedupe_columns, is_columns, unpack
 from ..ipv6.prefix import Prefix
 from ..simnet.bgp import BgpTable
 
@@ -115,7 +116,7 @@ class CyclicPermutation:
 
 
 def interleave_by_network(
-    targets: Iterable[int],
+    targets: "Iterable[int] | tuple[np.ndarray, np.ndarray]",
     bgp: BgpTable,
     *,
     rng_seed: int | None = 0,
@@ -128,14 +129,23 @@ def interleave_by_network(
     probes touches a single prefix at most ``ceil(k / live_groups)``
     times — a hard burst bound that a plain shuffle only gives in
     expectation.
+
+    ``targets`` may also be packed ``(hi, lo)`` columns; the dedupe
+    then runs as a fused-key array pass producing the same first-seen
+    order the scalar path yields, before unboxing for the inherently
+    per-address routing lookups.
     """
+    if is_columns(targets):
+        deduped: "Iterable[int]" = unpack(*dedupe_columns(*targets))
+    else:
+        # dict.fromkeys, not a set: set iteration order varies with
+        # hash randomisation / CPython build, which would leak into
+        # each group's pre-shuffle order and break cross-run
+        # determinism (the same footgun Scanner.scan's dedupe fixed).
+        deduped = dict.fromkeys(int(t) for t in targets)
     rng = random.Random(rng_seed)
     groups: dict[Prefix | None, list[int]] = defaultdict(list)
-    # dict.fromkeys, not a set: set iteration order varies with hash
-    # randomisation / CPython build, which would leak into each group's
-    # pre-shuffle order and break cross-run determinism (the same
-    # footgun Scanner.scan's dedupe fixed).
-    for addr in dict.fromkeys(int(t) for t in targets):
+    for addr in deduped:
         route = bgp.lookup(addr)
         groups[route.prefix if route else None].append(addr)
     queues = []

@@ -123,3 +123,47 @@ class SharedArrays:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def publish_arrays(arrays: dict[str, np.ndarray]) -> dict:
+    """Worker-side publish: copy arrays into a segment, return its spec.
+
+    The inverse data direction of the scan transport above — a *worker*
+    produces bulk arrays (generated target columns) the *parent* must
+    collect.  The worker creates the segment with resource-tracker
+    registration suppressed (same gh-82300 reasoning as :meth:`attach`:
+    the pool worker outlives the handoff, and its tracker must not
+    unlink a segment the parent still has to read), unmaps its own view
+    immediately, and ships only the spec through the result pickle.
+    Ownership transfers with the spec: :func:`consume_arrays` unlinks.
+    If the parent dies between publish and consume the segment leaks
+    until reboot — auditable in ``/dev/shm`` by the name prefix.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shared = SharedArrays.create(arrays)
+    finally:
+        resource_tracker.register = original_register
+    spec = shared.spec
+    shared._owner = False  # unlink happens in consume_arrays
+    shared.close()
+    return spec
+
+
+def consume_arrays(spec: dict) -> dict[str, np.ndarray]:
+    """Parent-side collect: copy arrays out of a published segment.
+
+    Copies (the segment is about to vanish), then unlinks — the parent
+    assumes ownership the moment it consumes.
+    """
+    shared = SharedArrays.attach(spec)
+    try:
+        out = {
+            name: np.array(view, copy=True)
+            for name, view in shared.arrays.items()
+        }
+    finally:
+        shared._owner = True
+        shared.close()
+    return out
