@@ -1,0 +1,208 @@
+"""Multi-tenant service gate: N interleaved campaigns vs a serial loop.
+
+Runs the same N deterministic campaigns two ways:
+
+1. **serial** — a plain loop of :class:`~repro.campaign.Campaign` runs,
+   one after the other (the pre-service workflow);
+2. **interleaved** — the same campaigns submitted to one
+   :class:`~repro.service.CampaignService` and driven round-robin over
+   the shared simnet.
+
+The gate fails (exit 1) unless every interleaved campaign finishes
+bit-identical to its serial twin (hits *and* stats) and the scheduler
+overhead — extra wall-clock relative to the serial loop — stays within
+``--max-overhead`` (default 10%).  Fairness is reported as the largest
+observed spread, in probe batches, between the most- and least-advanced
+running campaigns mid-flight; with equal quanta it must stay bounded by
+the quantum.
+
+Standalone script, not a pytest benchmark — CI runs it with ``--quick``
+and fails the build on divergence or runaway overhead:
+
+    python benchmarks/bench_service.py [--quick] [--out BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import experiments as ex  # noqa: E402
+from repro.campaign import Campaign, CampaignSpec  # noqa: E402
+from repro.scanner.engine import ScanConfig  # noqa: E402
+from repro.service import CampaignService, TenantPolicy  # noqa: E402
+
+RNG_SEED = 5
+BATCH_SIZE = 256
+RETRIES = 1
+QUANTUM = 4
+
+
+def build_specs(budget: int, tenants: int) -> dict[str, CampaignSpec]:
+    """One spec per tenant; budgets staggered so jobs finish at
+    different times and the rotation actually shrinks mid-run."""
+    return {
+        f"tenant-{i + 1}": CampaignSpec(
+            budget=budget + 200 * i,
+            scan_config=ScanConfig(batch_size=BATCH_SIZE, retries=RETRIES),
+        )
+        for i in range(tenants)
+    }
+
+
+def run_serial(context, specs):
+    started = time.perf_counter()
+    results = {
+        name: Campaign(
+            context.internet.truth, context.internet.bgp,
+            context.groups, spec,
+        ).run()
+        for name, spec in specs.items()
+    }
+    return results, time.perf_counter() - started
+
+
+def run_interleaved(context, specs):
+    service = CampaignService(context.internet.truth, context.internet.bgp)
+    jobs = {}
+    for name, spec in specs.items():
+        service.register_tenant(name, TenantPolicy(quantum=QUANTUM))
+        jobs[name] = service.submit(name, context.groups, spec)
+
+    turns = 0
+    max_spread = 0
+    started = time.perf_counter()
+    while service.step():
+        turns += 1
+        done = [
+            job.campaign.execution.batches_done
+            for job in service.jobs.values()
+            if job.state == "running" and job.campaign.execution is not None
+        ]
+        if len(done) > 1:
+            max_spread = max(max_spread, max(done) - min(done))
+    elapsed = time.perf_counter() - started
+    results = {name: service.result(job) for name, job in jobs.items()}
+    return results, elapsed, turns, max_spread
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller world and fewer tenants (the CI gate configuration)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=None, metavar="N",
+        help="number of tenants (default: 3 quick, 5 full)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.10, metavar="FRAC",
+        help="maximum scheduler overhead vs the serial loop (default 0.10)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, metavar="K",
+        help="timing repeats; best-of-K is reported (default 2)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here (default: benchmarks/results/)",
+    )
+    args = parser.parse_args()
+
+    scale = 0.1 if args.quick else 0.2
+    budget = 1_500 if args.quick else 4_000
+    tenants = args.tenants or (3 if args.quick else 5)
+
+    context = ex.standard_context(scale)
+    specs = build_specs(budget, tenants)
+    print(f"world scale={scale}, {tenants} tenants, "
+          f"budgets {[s.budget for s in specs.values()]}")
+
+    serial_seconds = float("inf")
+    for _ in range(max(1, args.repeats)):
+        serial, elapsed = run_serial(context, specs)
+        serial_seconds = min(serial_seconds, elapsed)
+
+    service_seconds = float("inf")
+    for _ in range(max(1, args.repeats)):
+        interleaved, elapsed, turns, max_spread = run_interleaved(
+            context, specs
+        )
+        service_seconds = min(service_seconds, elapsed)
+
+    mismatches = []
+    for name in specs:
+        a, b = serial[name], interleaved[name]
+        if a.raw_hits != b.raw_hits or a.scan.stats != b.scan.stats:
+            mismatches.append(name)
+        status = "OK" if name not in mismatches else "DIVERGED"
+        print(f"  {name:<10} hits={len(b.raw_hits):>6} "
+              f"probes={b.probes_sent:>7}  {status}")
+
+    total_probes = sum(r.probes_sent for r in interleaved.values())
+    overhead = (service_seconds - serial_seconds) / serial_seconds
+    serial_pps = total_probes / serial_seconds
+    service_pps = total_probes / service_seconds
+    print(f"serial      {serial_seconds:8.3f}s  {serial_pps:12,.0f} probes/s")
+    print(f"interleaved {service_seconds:8.3f}s  {service_pps:12,.0f} probes/s"
+          f"  ({turns} turns)")
+    print(f"scheduler overhead {overhead * 100:+.1f}% "
+          f"(gate {args.max_overhead * 100:.0f}%), "
+          f"fairness spread {max_spread} batches (quantum {QUANTUM})")
+
+    failures = []
+    if mismatches:
+        failures.append(f"parity broken for {mismatches}")
+    if overhead > args.max_overhead:
+        failures.append(
+            f"overhead {overhead * 100:.1f}% exceeds "
+            f"{args.max_overhead * 100:.0f}%"
+        )
+    if max_spread > QUANTUM:
+        failures.append(
+            f"fairness spread {max_spread} exceeds quantum {QUANTUM}"
+        )
+
+    report = {
+        "benchmark": "service_scheduler",
+        "quick": args.quick,
+        "scale": scale,
+        "tenants": tenants,
+        "budgets": [s.budget for s in specs.values()],
+        "quantum": QUANTUM,
+        "total_probes": total_probes,
+        "serial_seconds": round(serial_seconds, 4),
+        "service_seconds": round(service_seconds, 4),
+        "serial_probes_per_sec": round(serial_pps, 1),
+        "service_probes_per_sec": round(service_pps, 1),
+        "scheduler_overhead": round(overhead, 4),
+        "max_overhead_gate": args.max_overhead,
+        "scheduler_turns": turns,
+        "fairness_spread_batches": max_spread,
+        "parity_mismatches": mismatches,
+        "failures": failures,
+    }
+    out = pathlib.Path(
+        args.out
+        or REPO_ROOT / "benchmarks" / "results" / "BENCH_service.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report -> {out}")
+
+    if failures:
+        print("SERVICE GATE FAILED: " + "; ".join(failures))
+        return 1
+    print("interleaved campaigns bit-identical to serial, overhead in bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,8 @@ from ..scanner.engine import ScanConfig, Scanner
 from ..simnet.bgp import group_by_routed_prefix
 from ..simnet.dns import SeedCollection, collect_seeds
 from ..simnet.ground_truth import SimInternet, default_internet
-from ..telemetry.spans import Telemetry, ensure
-from .grouping import MultiPrefixRun, run_per_prefix
+from ..telemetry.spans import Telemetry
+from .grouping import MultiPrefixRun
 from .metrics import (
     SEED_BUCKETS,
     AsShare,
@@ -152,61 +152,39 @@ def run_full_scan(
     hits and stats bit-identical to an uninterrupted run.  ``crash``
     (a :class:`~repro.faults.WorkerCrash`) is the deterministic kill
     switch the resume-parity tests use.
+
+    This is a thin wrapper over the campaign layer
+    (:class:`repro.campaign.Campaign`), which owns the pipeline; the
+    parity tests pin this wrapper to the campaign's monolithic path.
     """
-    tele = ensure(telemetry)
+    from ..campaign import Campaign, CampaignSpec
+
     if seed_addrs is None:
         groups = context.groups
     else:
         groups = group_by_routed_prefix(seed_addrs, context.internet.bgp)
-    ckpt_sink = None
-    checkpointer = None
-    resume_state = None
-    if checkpoint_path is not None:
-        import os
-
-        from ..scanner.checkpoint import ScanCheckpointer, load_scan_checkpoint
-        from ..telemetry.sinks import JsonlSink
-
-        if resume and os.path.exists(checkpoint_path):
-            resume_state = load_scan_checkpoint(checkpoint_path)
-        ckpt_sink = JsonlSink(checkpoint_path)
-        checkpointer = ScanCheckpointer(ckpt_sink, every_batches=checkpoint_every)
-    elif resume:
-        raise ValueError("resume=True requires checkpoint_path")
-    try:
-        with tele.span("full_scan", budget=budget, port=port):
-            run = run_per_prefix(
-                groups, budget, loose=loose, telemetry=telemetry,
-                progress_sink=ckpt_sink, processes=gen_workers,
-            )
-            config = scan_config or ScanConfig()
-            scanner = Scanner(
-                context.internet.truth, config=config, telemetry=telemetry
-            )
-            scan = scanner.scan(
-                run.iter_target_columns(), port=port,
-                checkpoint=checkpointer, resume=resume_state, crash=crash,
-            )
-            if dealias_hits:
-                report = dealias(
-                    scan.hits, scanner, context.internet.bgp, port=port,
-                    workers=config.workers, telemetry=telemetry,
-                )
-            else:
-                report = DealiasReport(clean_hits=set(scan.hits))
-    finally:
-        if ckpt_sink is not None:
-            ckpt_sink.close()
+    spec = CampaignSpec(
+        budget=budget,
+        port=port,
+        loose=loose,
+        dealias=dealias_hits,
+        scan_config=scan_config or ScanConfig(),
+        gen_workers=gen_workers,
+        checkpoint_every=checkpoint_every,
+    )
+    campaign = Campaign(
+        context.internet.truth, context.internet.bgp, groups, spec,
+        telemetry=telemetry, checkpoint_path=checkpoint_path,
+    )
+    result = campaign.run(resume=resume, crash=crash)
     return ScanOutcome(
         context=context,
         budget=budget,
-        run=run,
-        raw_hits=scan.hits,
-        report=report,
-        # Deduplicated target count, recovered from the scan counters
-        # (every distinct target is either probed or blacklisted).
-        targets_generated=scan.stats.probes_sent + scan.stats.blacklisted,
-        probes_sent=scan.stats.probes_sent,
+        run=result.run,
+        raw_hits=result.raw_hits,
+        report=result.report,
+        targets_generated=result.targets_generated,
+        probes_sent=result.probes_sent,
     )
 
 

@@ -1,0 +1,302 @@
+"""The campaign pipeline: one object owning a full scan campaign.
+
+:class:`Campaign` composes the stages the paper's §6 measurement runs
+as one pipeline over the packed column plane: per-prefix 6Gen
+generation (:mod:`.generate`), scan-side dedupe + cyclic-permutation
+ordering + budgeted probing with retry rounds
+(:class:`~repro.scanner.engine.Scanner`), crash-safe checkpointing
+(:mod:`repro.scanner.checkpoint`), and §6.2 dealiasing
+(:mod:`repro.scanner.dealias`).
+
+Two ways to drive it:
+
+* :meth:`Campaign.run` — the monolithic path.  This is exactly the
+  body the old ``run_full_scan`` executed (same calls, same order,
+  same telemetry), so results are bit-identical to the pre-refactor
+  pipeline at any worker count; ``run_full_scan`` is now a thin
+  wrapper over it.
+* :meth:`Campaign.begin` / :meth:`step` / :meth:`finish` — the
+  stepwise path, built on :class:`~repro.scanner.execution.ScanExecution`.
+  Each ``step()`` probes one batch; a scheduler (the multi-tenant
+  service in :mod:`repro.service`) interleaves steps of many campaigns
+  over one process.  Because every probe verdict is a pure function of
+  ``(key, address, attempt)``, interleaving never changes what any one
+  campaign observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..scanner.dealias import DealiasReport, dealias
+from ..scanner.engine import ScanConfig, Scanner
+from ..scanner.probe import ScanResult
+from ..telemetry.spans import Telemetry, ensure
+from .generate import generate_per_prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.grouping import MultiPrefixRun
+    from ..faults.models import WorkerCrash
+    from ..ipv6.prefix import Prefix
+    from ..scanner.execution import ScanExecution
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What to run: the knobs of one campaign, minus the world it runs in.
+
+    ``budget`` is the per-prefix probe budget (the paper's 1 M,
+    simulation-scaled).  ``scan_config`` selects the scan execution
+    strategy (batch size, workers, retries) — the result is identical
+    for every config.  ``dealias`` toggles the §6.2 dealiasing stage;
+    with it off the report passes raw hits through as clean.
+    """
+
+    budget: int
+    port: int = 80
+    loose: bool = True
+    dealias: bool = True
+    scan_config: ScanConfig = field(default_factory=ScanConfig)
+    gen_workers: int | None = None
+    checkpoint_every: int = 16
+
+
+@dataclass
+class CampaignResult:
+    """A finished (or interrupted) campaign's outputs, stage by stage."""
+
+    run: "MultiPrefixRun"
+    scan: ScanResult
+    report: DealiasReport
+    #: True when the campaign was stopped early (budget exhaustion,
+    #: preemption) — ``scan``/``report`` then hold the partial state.
+    interrupted: bool = False
+
+    @property
+    def raw_hits(self) -> set[int]:
+        return self.scan.hits
+
+    @property
+    def clean_hits(self) -> set[int]:
+        return self.report.clean_hits
+
+    @property
+    def aliased_hits(self) -> set[int]:
+        return self.report.aliased_hits
+
+    @property
+    def targets_generated(self) -> int:
+        """Deduplicated target count, recovered from the scan counters
+        (every distinct target is either probed or blacklisted)."""
+        return self.scan.stats.probes_sent + self.scan.stats.blacklisted
+
+    @property
+    def probes_sent(self) -> int:
+        return self.scan.stats.probes_sent
+
+
+class Campaign:
+    """One full generate→dedupe→permute→probe→retry→checkpoint campaign.
+
+    ``truth``/``bgp`` are the world (a
+    :class:`~repro.simnet.ground_truth.GroundTruth` and a BGP table for
+    dealiasing); ``groups`` maps routed prefixes to their seed lists
+    (see :func:`repro.simnet.bgp.group_by_routed_prefix`);  ``spec``
+    holds the knobs.  ``checkpoint_path`` arms crash-safe progress
+    streaming: per-prefix generation events plus scan checkpoints land
+    in one JSONL file, and a later campaign with ``resume=True``
+    continues from it, finishing bit-identical to an uninterrupted run.
+    """
+
+    def __init__(
+        self,
+        truth,
+        bgp,
+        groups: "Mapping[Prefix, Sequence[int]]",
+        spec: CampaignSpec,
+        *,
+        telemetry: Telemetry | None = None,
+        checkpoint_path: str | None = None,
+        name: str = "campaign",
+    ):
+        self.truth = truth
+        self.bgp = bgp
+        self.groups = groups
+        self.spec = spec
+        self.name = name
+        self.telemetry = telemetry
+        self._tele = ensure(telemetry)
+        self.checkpoint_path = checkpoint_path
+        self.state = "created"
+        self.run_output: "MultiPrefixRun | None" = None
+        self.execution: "ScanExecution | None" = None
+        self.result: CampaignResult | None = None
+        self._scanner: Scanner | None = None
+        self._ckpt_sink = None
+        self._span = None
+
+    # -- the monolithic path -------------------------------------------
+
+    def run(self, *, resume: bool = False, crash: "WorkerCrash | None" = None):
+        """Run the whole campaign to completion and return its result.
+
+        This is the pre-refactor ``run_full_scan`` body verbatim —
+        ``Scanner.scan`` keeps its pool paths for round 0 at
+        ``workers > 1`` — so hits and stats are bit-identical to the
+        old monolithic pipeline.
+        """
+        spec = self.spec
+        ckpt_sink, checkpointer, resume_state = self._open_checkpoint(resume)
+        try:
+            with self._tele.span(
+                "full_scan", budget=spec.budget, port=spec.port
+            ):
+                run = generate_per_prefix(
+                    self.groups, spec.budget, loose=spec.loose,
+                    telemetry=self.telemetry, progress_sink=ckpt_sink,
+                    processes=spec.gen_workers,
+                )
+                scanner = Scanner(
+                    self.truth, config=spec.scan_config,
+                    telemetry=self.telemetry,
+                )
+                scan = scanner.scan(
+                    run.iter_target_columns(), port=spec.port,
+                    checkpoint=checkpointer, resume=resume_state, crash=crash,
+                )
+                report = self._dealias(scanner, scan.hits)
+        finally:
+            if ckpt_sink is not None:
+                ckpt_sink.close()
+        self.run_output = run
+        self.state = "finished"
+        self.result = CampaignResult(run=run, scan=scan, report=report)
+        return self.result
+
+    # -- the stepwise path (what the service drives) -------------------
+
+    def begin(
+        self, *, resume: bool = False, crash: "WorkerCrash | None" = None
+    ) -> None:
+        """Run generation and arm the scan for batch-by-batch stepping.
+
+        After ``begin()``, :attr:`execution` is live: call :meth:`step`
+        until it returns False, then :meth:`finish`.  Generation runs
+        here in full — it is deterministic and cheap relative to
+        probing, so the schedulable unit is the probe batch.
+        """
+        if self.state != "created":
+            raise RuntimeError(f"cannot begin a campaign in state {self.state!r}")
+        spec = self.spec
+        self._ckpt_sink, checkpointer, resume_state = self._open_checkpoint(
+            resume
+        )
+        self._span = self._tele.span(
+            "full_scan", budget=spec.budget, port=spec.port
+        )
+        self._span.__enter__()
+        try:
+            self.run_output = generate_per_prefix(
+                self.groups, spec.budget, loose=spec.loose,
+                telemetry=self.telemetry, progress_sink=self._ckpt_sink,
+                processes=spec.gen_workers,
+            )
+            self._scanner = Scanner(
+                self.truth, config=spec.scan_config, telemetry=self.telemetry
+            )
+            self.execution = self._scanner.start_execution(
+                self.run_output.iter_target_columns(), spec.port,
+                checkpoint=checkpointer, resume=resume_state, crash=crash,
+            )
+        except BaseException:
+            self.abort()
+            raise
+        self.state = "running"
+
+    def step(self) -> bool:
+        """Probe one batch; False once the scan has finished."""
+        if self.state != "running":
+            raise RuntimeError(f"cannot step a campaign in state {self.state!r}")
+        return self.execution.step()
+
+    def finish(self) -> CampaignResult:
+        """Dealias the finished scan and seal the campaign."""
+        if self.state != "running":
+            raise RuntimeError(f"cannot finish a campaign in state {self.state!r}")
+        scan = self.execution.result()
+        report = self._dealias(self._scanner, scan.hits)
+        self._close()
+        self.state = "finished"
+        self.result = CampaignResult(run=self.run_output, scan=scan, report=report)
+        return self.result
+
+    def interrupt(self) -> CampaignResult:
+        """Stop early (budget exhausted / cancelled) with a partial result.
+
+        The partial hits pass through undealised (dealiasing a
+        truncated scan would misstate §6.2's rates).  When a
+        checkpoint is armed, the file keeps its resumable prefix — a
+        fresh campaign over the same spec with ``resume=True`` picks
+        up exactly where this one stopped.
+        """
+        if self.state != "running":
+            raise RuntimeError(
+                f"cannot interrupt a campaign in state {self.state!r}"
+            )
+        stats = self.execution.stats.copy()
+        hits = set(self.execution.hits)
+        scan = ScanResult(port=self.spec.port, hits=hits, stats=stats)
+        report = DealiasReport(clean_hits=set(hits))
+        self._close()
+        self.state = "interrupted"
+        self.result = CampaignResult(
+            run=self.run_output, scan=scan, report=report, interrupted=True
+        )
+        return self.result
+
+    def abort(self) -> None:
+        """Release resources after a failure; the campaign has no result."""
+        self._close()
+        self.state = "failed"
+
+    # -- shared internals ----------------------------------------------
+
+    def _open_checkpoint(self, resume: bool):
+        if self.checkpoint_path is not None:
+            import os
+
+            from ..scanner.checkpoint import (
+                ScanCheckpointer,
+                load_scan_checkpoint,
+            )
+            from ..telemetry.sinks import JsonlSink
+
+            resume_state = None
+            if resume and os.path.exists(self.checkpoint_path):
+                resume_state = load_scan_checkpoint(self.checkpoint_path)
+            ckpt_sink = JsonlSink(self.checkpoint_path)
+            checkpointer = ScanCheckpointer(
+                ckpt_sink, every_batches=self.spec.checkpoint_every
+            )
+            return ckpt_sink, checkpointer, resume_state
+        if resume:
+            raise ValueError("resume=True requires checkpoint_path")
+        return None, None, None
+
+    def _dealias(self, scanner: Scanner, hits: set[int]) -> DealiasReport:
+        if self.spec.dealias:
+            return dealias(
+                hits, scanner, self.bgp, port=self.spec.port,
+                workers=self.spec.scan_config.workers,
+                telemetry=self.telemetry,
+            )
+        return DealiasReport(clean_hits=set(hits))
+
+    def _close(self) -> None:
+        if self._span is not None:
+            self._span.__exit__(None, None, None)
+            self._span = None
+        if self._ckpt_sink is not None:
+            self._ckpt_sink.close()
+            self._ckpt_sink = None

@@ -7,15 +7,18 @@ Subcommands mirror the toolchain of the paper:
 * ``scan``       — scan a target hitlist against the simulated Internet;
 * ``dealias``    — run the §6.2 dealiasing pipeline on a hit list;
 * ``simulate``   — build the simulated Internet and emit its seed snapshot;
+* ``service``    — run many tenant campaigns through the multi-tenant
+  scheduler over one shared simulated Internet;
 * ``experiment`` — run a named paper experiment and print its table/figure;
 * ``report``     — full-pipeline markdown report, or a telemetry run
   summary / two-run delta when given ``.jsonl`` files.
 
-The ``scan`` / ``6gen`` / ``dealias`` / ``adaptive`` commands accept
-``--telemetry PATH`` to stream metrics, spans, and a run manifest to a
-JSONL file (see ``docs/observability.md``), and ``scan`` / ``6gen`` /
-``dealias`` accept ``--quiet`` / ``--json`` to replace the human
-output with nothing, or with a single machine-readable summary line.
+The ``scan`` / ``6gen`` / ``dealias`` / ``adaptive`` / ``service``
+commands accept ``--telemetry PATH`` to stream metrics, spans, and a
+run manifest to a JSONL file (see ``docs/observability.md``), and
+``scan`` / ``6gen`` / ``dealias`` / ``service`` accept ``--quiet`` /
+``--json`` to replace the human output with nothing, or with a single
+machine-readable summary line.
 """
 
 from __future__ import annotations
@@ -321,6 +324,85 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         save_internet(args.save_world, internet)
         print(f"world file written -> {args.save_world}")
     return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    """Run N tenant campaigns through the multi-tenant scheduler."""
+    from .campaign import CampaignSpec
+    from .service import CampaignService, TenantPolicy
+    from .simnet.bgp import group_by_routed_prefix
+
+    out = _Output(args)
+    if args.tenants < 1:
+        out.error("--tenants must be >= 1")
+        return 1
+    internet = _load_internet(args)
+    seeds = collect_seeds(internet, rng_seed=args.dns_seed)
+    groups = group_by_routed_prefix(seeds.addresses(), internet.bgp)
+    telemetry = _open_telemetry(
+        args, "service",
+        {
+            "tenants": args.tenants,
+            "budget": args.budget,
+            "probe_budget": args.probe_budget,
+            "port": args.port,
+            "retries": args.retries,
+            "scale": args.scale,
+            "world_seed": args.world_seed,
+        },
+    )
+    spec = CampaignSpec(
+        budget=args.budget, port=args.port,
+        scan_config=ScanConfig(retries=args.retries),
+    )
+    try:
+        service = CampaignService(
+            internet.truth, internet.bgp, telemetry=telemetry
+        )
+        jobs = []
+        for i in range(args.tenants):
+            tenant = f"tenant-{i + 1}"
+            service.register_tenant(
+                tenant,
+                TenantPolicy(
+                    probe_budget=args.probe_budget, quantum=args.quantum
+                ),
+            )
+            jobs.append(service.submit(tenant, groups, spec, name=tenant))
+        out.say(f"submitted {len(jobs)} campaigns "
+                f"(budget {args.budget}/prefix each)")
+        turns = 0
+        while service.step():
+            turns += 1
+            if args.progress_every and turns % args.progress_every == 0:
+                for job_id in jobs:
+                    p = service.progress(job_id)
+                    if p["state"] in ("running", "queued"):
+                        out.say(
+                            f"  [{p['tenant']}] {p['state']}: "
+                            f"{p.get('probes_sent', 0)} probes, "
+                            f"{p.get('hits', 0)} hits"
+                        )
+    finally:
+        _close_telemetry(telemetry)
+    summaries = []
+    for job_id in jobs:
+        p = service.progress(job_id)
+        line = (f"{p['tenant']}: {p['state']}, "
+                f"{p.get('probes_sent', 0)} probes, {p.get('hits', 0)} hits")
+        if p["state"] == "failed":
+            line += f" ({p.get('error')})"
+        out.say(line)
+        summaries.append(p)
+    out.finish(
+        "service",
+        {
+            "tenants": args.tenants,
+            "turns": turns,
+            "jobs": summaries,
+        },
+    )
+    return 0 if all(s["state"] != "failed" for s in summaries) else 1
 
 
 def _cmd_adaptive(args: argparse.Namespace) -> int:
@@ -652,6 +734,39 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_options(p)
     p.add_argument("--dns-seed", type=int, default=7)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "service",
+        help="run many tenant campaigns through the multi-tenant scheduler",
+    )
+    p.add_argument(
+        "--tenants", type=int, default=2, metavar="N",
+        help="number of tenants, one campaign each (default: 2)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=2_000,
+        help="per-prefix probe budget for each campaign",
+    )
+    p.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="per-tenant total probe budget (default: unlimited); "
+             "exhausted tenants are interrupted with partial results",
+    )
+    p.add_argument("--port", type=int, default=80)
+    p.add_argument("--retries", type=int, default=0)
+    p.add_argument(
+        "--quantum", type=int, default=4, metavar="BATCHES",
+        help="probe batches per tenant per scheduler turn (default: 4)",
+    )
+    p.add_argument(
+        "--progress-every", type=int, default=0, metavar="TURNS",
+        help="print live per-tenant progress every N scheduler turns",
+    )
+    p.add_argument("--dns-seed", type=int, default=7)
+    add_world_options(p)
+    add_output_options(p)
+    add_telemetry_option(p)
+    p.set_defaults(func=_cmd_service)
 
     p = sub.add_parser(
         "adaptive", help="scanner-integrated adaptive scan (§8 feedback loop)"

@@ -28,7 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..scanner.schedule import _mix64_np, mix64
+from ..scanner.schedule import RatePolicy, _mix64_np, mix64
 
 _M64 = (1 << 64) - 1
 _TWO64 = float(1 << 64)
@@ -221,6 +221,12 @@ class RateLimiter(FaultModel):
 
     ``limited_fraction`` < 1 limits only a PRF-chosen subset of
     prefixes, leaving the rest transparent.
+
+    The budget/window admission rule itself lives in
+    :class:`repro.scanner.schedule.RatePolicy` (shared with the
+    campaign scheduler's per-prefix caps); this model keeps the network
+    side — hashing each probe to an arrival slot within its prefix's
+    window — and drops exactly the probes the policy does not admit.
     """
 
     seed: int
@@ -230,16 +236,38 @@ class RateLimiter(FaultModel):
     limited_fraction: float = 1.0
 
     def __post_init__(self) -> None:
-        if not 0 < self.budget <= self.window:
-            raise ValueError(
-                f"budget must be in (0, window]: {self.budget}/{self.window}"
-            )
+        # Validates budget/window; cached because scalar drops() runs
+        # once per probe (object.__setattr__ walks the frozen wall).
+        object.__setattr__(self, "_policy", RatePolicy(self.budget, self.window))
         if not 0 <= self.prefix_len <= 128:
             raise ValueError(f"prefix_len must be in [0, 128]: {self.prefix_len}")
         if not 0.0 <= self.limited_fraction <= 1.0:
             raise ValueError(
                 f"limited_fraction must be in [0, 1]: {self.limited_fraction}"
             )
+
+    @property
+    def policy(self) -> RatePolicy:
+        """The admission rule this limiter enforces."""
+        return self._policy
+
+    @classmethod
+    def from_policy(
+        cls,
+        policy: RatePolicy,
+        *,
+        seed: int,
+        prefix_len: int = 64,
+        limited_fraction: float = 1.0,
+    ) -> "RateLimiter":
+        """Build the network-side enforcement of a scheduling policy."""
+        return cls(
+            seed=seed,
+            budget=policy.budget,
+            window=policy.window,
+            prefix_len=prefix_len,
+            limited_fraction=limited_fraction,
+        )
 
     def _prefix_of(self, addr: int) -> int:
         return addr >> (128 - self.prefix_len) if self.prefix_len else 0
@@ -250,7 +278,7 @@ class RateLimiter(FaultModel):
             if _prf_unit(self.seed, _SALT_MEMBER, prefix) >= self.limited_fraction:
                 return False
         slot = _prf_bits(self.seed, _SALT_ARRIVAL, prefix, addr, attempt)
-        return slot % self.window >= self.budget
+        return not self._policy.admits(slot)
 
     def _prefix_columns(
         self, hi: np.ndarray, lo: np.ndarray
@@ -285,7 +313,7 @@ class RateLimiter(FaultModel):
             ),
             np.uint64(attempt),
         )
-        dropped = slot % np.uint64(self.window) >= np.uint64(self.budget)
+        dropped = ~self._policy.admits_arr(slot)
         if self.limited_fraction < 1.0:
             member = (
                 _unit(_fold128(_prf_start(self.seed, _SALT_MEMBER), phi, plo))

@@ -19,13 +19,24 @@ from .dealias import (
     summarize_aliased_prefixes,
 )
 from .engine import ScanConfig, Scanner
-from .schedule import CyclicPermutation, batched, interleave_by_network, max_burst
+from .execution import ScanExecution
+from .schedule import (
+    CyclicPermutation,
+    RatePolicy,
+    TenantBudget,
+    batched,
+    interleave_by_network,
+    max_burst,
+)
 from .probe import DEFAULT_PORT, Probe, ScanResult, ScanStats
 
 __all__ = [
     "Blacklist",
     "CyclicPermutation",
     "DEFAULT_PORT",
+    "RatePolicy",
+    "ScanExecution",
+    "TenantBudget",
     "AliasedSummary",
     "DealiasReport",
     "Probe",

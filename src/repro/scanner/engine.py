@@ -213,6 +213,22 @@ class ScanConfig:
             )
 
 
+@dataclass
+class _PreparedScan:
+    """Output of ``Scanner._prepare_scan``: the inputs one scan runs on.
+
+    ``completed`` is set (and everything else meaningless) when a
+    resume state already recorded ``scan_complete``.
+    """
+
+    ordered: "list[int] | None" = None
+    cols: "tuple[np.ndarray, np.ndarray] | None" = None
+    n: int = 0
+    perm: CyclicPermutation | None = None
+    loss_key: int = 0
+    completed: ScanResult | None = None
+
+
 class Scanner:
     """A probe engine bound to one ground truth."""
 
@@ -408,33 +424,22 @@ class Scanner:
         return results.tolist()
 
     # -- bulk scan ------------------------------------------------------------
-    def scan(
+    def _prepare_scan(
         self,
         targets: Iterable[int],
-        port: int = DEFAULT_PORT,
+        port: int,
         *,
-        shuffle: bool = True,
-        checkpoint: "ScanCheckpointer | None" = None,
-        resume: "ResumeState | None" = None,
-        crash: "WorkerCrash | None" = None,
-    ) -> ScanResult:
-        """Probe each distinct target; collect responsive addresses.
+        shuffle: bool,
+        checkpoint: "ScanCheckpointer | None",
+        resume: "ResumeState | None",
+    ) -> "_PreparedScan":
+        """Everything before the first probe, shared by scan paths.
 
-        Targets may be any iterable (a generator streams straight in);
-        they are deduplicated preserving first-seen order, which keeps
-        probe order — and therefore loss outcomes — deterministic for a
-        fixed ``rng_seed`` regardless of CPython build (a plain
-        ``set`` dedupe does not guarantee that).
-
-        ``checkpoint`` streams progress through a
-        :class:`~repro.scanner.checkpoint.ScanCheckpointer`;
-        ``resume`` replays a loaded
-        :class:`~repro.scanner.checkpoint.ResumeState` (the caller must
-        supply the same target stream, port, and retry budget — this is
-        verified against the recorded digest).  ``crash`` arms a
-        :class:`~repro.faults.WorkerCrash` fault, the deterministic
-        kill switch the resume-parity tests use.  All three require the
-        batched path.
+        Normalises the target source, draws the scan keys, verifies and
+        applies a resume state, and writes the ``scan_begin`` record.
+        Returns the prepared inputs — or, for a resume state that
+        already recorded completion, the finished result (``completed``
+        set, nothing else valid).
         """
         config = self.config
         ordered, cols = _normalize_targets(targets)
@@ -466,7 +471,7 @@ class Scanner:
         # unshifted key stream.
         perm_key = self._order_rng.getrandbits(64)
         loss_key = self._order_rng.getrandbits(64)
-        if (checkpoint or resume or crash) and not config.use_batched:
+        if (checkpoint or resume) and not config.use_batched:
             raise ValueError(
                 "checkpoint/resume/crash-injection require the batched "
                 "scan path (use_batched=True)"
@@ -497,8 +502,12 @@ class Scanner:
                 # result without re-probing (or re-counting probes).
                 if self.telemetry.enabled:
                     self.telemetry.count("scan.resumed_complete")
-                return ScanResult(
-                    port=port, hits=set(resume.hits), stats=resume.stats.copy()
+                return _PreparedScan(
+                    completed=ScanResult(
+                        port=port,
+                        hits=set(resume.hits),
+                        stats=resume.stats.copy(),
+                    )
                 )
         perm = (
             CyclicPermutation(n, perm_key)
@@ -523,63 +532,173 @@ class Scanner:
                     stats=resume.stats,
                     hits=resume.hits,
                 )
+        return _PreparedScan(
+            ordered=ordered, cols=cols, n=n, perm=perm, loss_key=loss_key
+        )
+
+    def scan(
+        self,
+        targets: Iterable[int],
+        port: int = DEFAULT_PORT,
+        *,
+        shuffle: bool = True,
+        checkpoint: "ScanCheckpointer | None" = None,
+        resume: "ResumeState | None" = None,
+        crash: "WorkerCrash | None" = None,
+    ) -> ScanResult:
+        """Probe each distinct target; collect responsive addresses.
+
+        Targets may be any iterable (a generator streams straight in);
+        they are deduplicated preserving first-seen order, which keeps
+        probe order — and therefore loss outcomes — deterministic for a
+        fixed ``rng_seed`` regardless of CPython build (a plain
+        ``set`` dedupe does not guarantee that).
+
+        ``checkpoint`` streams progress through a
+        :class:`~repro.scanner.checkpoint.ScanCheckpointer`;
+        ``resume`` replays a loaded
+        :class:`~repro.scanner.checkpoint.ResumeState` (the caller must
+        supply the same target stream, port, and retry budget — this is
+        verified against the recorded digest).  ``crash`` arms a
+        :class:`~repro.faults.WorkerCrash` fault, the deterministic
+        kill switch the resume-parity tests use.  All three require the
+        batched path.
+        """
+        config = self.config
+        if crash is not None and not config.use_batched:
+            raise ValueError(
+                "checkpoint/resume/crash-injection require the batched "
+                "scan path (use_batched=True)"
+            )
+        prep = self._prepare_scan(
+            targets, port, shuffle=shuffle, checkpoint=checkpoint,
+            resume=resume,
+        )
+        if prep.completed is not None:
+            return prep.completed
         tele = self.telemetry
         with tele.span(
-            "scan", port=port, targets=n, workers=config.workers
+            "scan", port=port, targets=prep.n, workers=config.workers
         ):
             start = time.perf_counter()
             if config.use_batched:
                 result = self._scan_batched(
-                    ordered, perm, loss_key, port, config,
+                    prep.ordered, prep.perm, prep.loss_key, port, config,
                     checkpoint=checkpoint, resume=resume, crash=crash,
-                    cols=cols,
+                    cols=prep.cols,
                 )
             else:
-                result = self._scan_reference(ordered, perm, loss_key, port, config)
+                result = self._scan_reference(
+                    prep.ordered, prep.perm, prep.loss_key, port, config
+                )
             elapsed = time.perf_counter() - start
         self.total_probes += result.stats.probes_sent + result.stats.retransmits
-        if tele.enabled:
-            tele.count("scan.runs")
-            tele.count("scan.targets", n)
-            tele.count("scan.hits", len(result.hits))
-            # One conversion from the final (parity-gated) stats for
-            # every execution path, so counter totals are identical for
-            # any batch size or worker count.
-            tele.merge_snapshot(scan_stats_snapshot(result.stats))
-            if elapsed > 0:
-                tele.gauge(
-                    "scan.probes_per_sec", result.stats.probes_sent / elapsed
-                )
-            if _resource is not None:
-                # Gauges merge by max, so across runs this reports the
-                # campaign's peak resident set (KiB on Linux) — the
-                # memory axis of `repro report --against` comparisons.
-                tele.gauge(
-                    "scan.peak_rss_kib",
-                    float(
-                        _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
-                    ),
-                )
-            tele.event(
-                "scan_summary",
-                {
-                    "port": port,
-                    "targets": n,
-                    "hits": len(result.hits),
-                    "probes_sent": result.stats.probes_sent,
-                    "blacklisted": result.stats.blacklisted,
-                    "dropped": result.stats.dropped,
-                    "retransmits": result.stats.retransmits,
-                    "retries": config.retries,
-                    "backoff_seconds": round(
-                        config.retry_backoff * config.retries, 6
-                    ),
-                    "hit_rate": round(result.stats.hit_rate, 6),
-                    "workers": config.workers,
-                    "seconds": round(elapsed, 6),
-                },
-            )
+        self._emit_scan_summary(result, prep.n, elapsed, port, config)
         return result
+
+    def start_execution(
+        self,
+        targets: Iterable[int],
+        port: int = DEFAULT_PORT,
+        *,
+        shuffle: bool = True,
+        checkpoint: "ScanCheckpointer | None" = None,
+        resume: "ResumeState | None" = None,
+        crash: "WorkerCrash | None" = None,
+    ):
+        """Begin a scan as a stepwise :class:`~repro.scanner.execution.
+        ScanExecution` instead of running it to completion.
+
+        The returned execution performs the identical batch sequence an
+        in-process :meth:`scan` would (same keys, same verdicts, same
+        checkpoints), one batch per :meth:`~repro.scanner.execution.
+        ScanExecution.step` — the primitive the multi-tenant campaign
+        scheduler interleaves.  Requires the batched path; executions
+        always run in-process (worker pools belong to :meth:`scan`).
+        """
+        from .execution import ScanExecution
+
+        config = self.config
+        if not config.use_batched:
+            raise ValueError(
+                "stepwise execution requires the batched scan path "
+                "(use_batched=True)"
+            )
+        prep = self._prepare_scan(
+            targets, port, shuffle=shuffle, checkpoint=checkpoint,
+            resume=resume,
+        )
+        if prep.completed is not None:
+            return ScanExecution(
+                self, ordered=None, cols=None, perm=None, loss_key=0,
+                port=port, config=config, completed=prep.completed,
+            )
+        return ScanExecution(
+            self,
+            ordered=prep.ordered,
+            cols=prep.cols,
+            perm=prep.perm,
+            loss_key=prep.loss_key,
+            port=port,
+            config=config,
+            checkpoint=checkpoint,
+            resume=resume,
+            crash=crash,
+            finalize=True,
+        )
+
+    def _emit_scan_summary(
+        self,
+        result: ScanResult,
+        n: int,
+        elapsed: float,
+        port: int,
+        config: ScanConfig,
+    ) -> None:
+        """Post-scan telemetry, shared by monolithic and stepwise paths."""
+        tele = self.telemetry
+        if not tele.enabled:
+            return
+        tele.count("scan.runs")
+        tele.count("scan.targets", n)
+        tele.count("scan.hits", len(result.hits))
+        # One conversion from the final (parity-gated) stats for
+        # every execution path, so counter totals are identical for
+        # any batch size or worker count.
+        tele.merge_snapshot(scan_stats_snapshot(result.stats))
+        if elapsed > 0:
+            tele.gauge(
+                "scan.probes_per_sec", result.stats.probes_sent / elapsed
+            )
+        if _resource is not None:
+            # Gauges merge by max, so across runs this reports the
+            # campaign's peak resident set (KiB on Linux) — the
+            # memory axis of `repro report --against` comparisons.
+            tele.gauge(
+                "scan.peak_rss_kib",
+                float(
+                    _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+                ),
+            )
+        tele.event(
+            "scan_summary",
+            {
+                "port": port,
+                "targets": n,
+                "hits": len(result.hits),
+                "probes_sent": result.stats.probes_sent,
+                "blacklisted": result.stats.blacklisted,
+                "dropped": result.stats.dropped,
+                "retransmits": result.stats.retransmits,
+                "retries": config.retries,
+                "backoff_seconds": round(
+                    config.retry_backoff * config.retries, 6
+                ),
+                "hit_rate": round(result.stats.hit_rate, 6),
+                "workers": config.workers,
+                "seconds": round(elapsed, 6),
+            },
+        )
 
     def _scan_reference(
         self,
@@ -645,115 +764,39 @@ class Scanner:
     ) -> ScanResult:
         # ``ordered`` is None only on the pure column path, where the
         # caller guarantees the array plane applies (so the object-path
-        # branches below, which need boxed ints, are unreachable).
-        if resume is not None:
-            stats = resume.stats.copy()
-            hits = set(resume.hits)
-            start_round, start_batch = resume.round, resume.next_batch
-        else:
-            stats = ScanStats()
-            hits = set()
-            start_round, start_batch = 0, 0
-        tele = self.telemetry
-        # The array plane is a frozen snapshot of targets + lookup
-        # tables; when the truth/blacklist types support it, every
-        # batch below runs as vectorised column passes with identical
-        # verdicts (the parity tests and CI gate enforce this).
-        plane = None
-        if config.use_arrays and ScanPlane.supports(self.truth, self.blacklist):
-            plane = ScanPlane.build(
-                self.truth,
-                self.blacklist,
-                cols if cols is not None else ordered,
-                port,
-                self.loss_rate,
-            )
-        batch_size = config.batch_size
-        n = len(cols[0]) if cols is not None else len(ordered)
-        if start_round == 0:
-            if config.workers > 1 and n > batch_size:
-                if plane is not None:
-                    self._scan_pool_shared(
-                        plane, perm, loss_key, config, stats, hits,
-                        checkpoint=checkpoint, start_batch=start_batch,
-                        crash=crash,
-                    )
-                else:
-                    self._scan_pool(
-                        ordered, perm, loss_key, port, config, stats, hits,
-                        checkpoint=checkpoint, start_batch=start_batch,
-                        crash=crash,
-                    )
-            elif plane is not None:
-                for start in range(start_batch * batch_size, n, batch_size):
-                    index = start // batch_size
-                    if crash is not None:
-                        crash.check(0, index)
-                    new_hits = plane.probe_range(
-                        perm, start, min(start + batch_size, n),
-                        loss_key, stats, hits,
-                    )
-                    tele.count("scan.batches")
-                    if checkpoint is not None:
-                        checkpoint.note_batch(new_hits)
-                        checkpoint.checkpoint(0, index + 1, stats)
-            else:
-                for index, batch in _iter_permuted_batches(
-                    ordered, perm, batch_size, start_batch
-                ):
-                    if crash is not None:
-                        crash.check(0, index)
-                    new_hits = _probe_batch(
-                        self.truth, self.blacklist, self.loss_rate, loss_key,
-                        port, batch, stats, hits,
-                    )
-                    tele.count("scan.batches")
-                    if checkpoint is not None:
-                        checkpoint.note_batch(new_hits)
-                        checkpoint.checkpoint(0, index + 1, stats)
-            start_round = 1
-        # Retry rounds always run in-process: the pending set is a
-        # shrinking fraction of the target list, and every verdict is
-        # the same pure function a pool worker would compute.
-        # Checkpoints for retry rounds land only on round boundaries —
-        # the pending set is derived from the hits at round start, so a
-        # boundary checkpoint is exactly recomputable on resume.
-        for round_ in range(start_round, config.retries + 1):
-            if plane is not None:
-                pending_hi, pending_lo = plane.pending_columns(
-                    perm, batch_size, hits
+        # branches in the execution, which need boxed ints, are
+        # unreachable).  The batch loop itself lives in ScanExecution
+        # (one batch per step); this driver only decides whether round
+        # 0 runs through a worker pool first.
+        from .execution import ScanExecution
+
+        execution = ScanExecution(
+            self, ordered=ordered, cols=cols, perm=perm, loss_key=loss_key,
+            port=port, config=config, checkpoint=checkpoint, resume=resume,
+            crash=crash,
+        )
+        n = execution.n
+        if (
+            execution.start_round == 0
+            and config.workers > 1
+            and n > config.batch_size
+        ):
+            if execution.plane is not None:
+                self._scan_pool_shared(
+                    execution.plane, perm, loss_key, config,
+                    execution.stats, execution.hits,
+                    checkpoint=checkpoint,
+                    start_batch=execution.start_batch, crash=crash,
                 )
-                pending_count = len(pending_hi)
             else:
-                pending = self._pending_targets(ordered, perm, hits, config)
-                pending_count = len(pending)
-            if not pending_count:
-                break
-            key = _round_key(loss_key, round_)
-            if tele.enabled:
-                tele.count("scan.retry_rounds")
-            for index, start in enumerate(range(0, pending_count, batch_size)):
-                if crash is not None:
-                    crash.check(round_, index)
-                if plane is not None:
-                    new_hits = plane.retry_chunk(
-                        pending_hi[start : start + batch_size],
-                        pending_lo[start : start + batch_size],
-                        key, round_, stats, hits,
-                    )
-                else:
-                    new_hits = _retry_batch(
-                        self.truth, self.loss_rate, key, round_, port,
-                        pending[start : start + batch_size], stats, hits,
-                    )
-                tele.count("scan.batches")
-                if checkpoint is not None:
-                    checkpoint.note_batch(new_hits)
-            if checkpoint is not None and round_ < config.retries:
-                checkpoint.checkpoint(round_ + 1, 0, stats, force=True)
-        if checkpoint is not None:
-            checkpoint.complete(stats=stats)
-        return ScanResult(port=port, hits=hits, stats=stats)
+                self._scan_pool(
+                    ordered, perm, loss_key, port, config,
+                    execution.stats, execution.hits,
+                    checkpoint=checkpoint,
+                    start_batch=execution.start_batch, crash=crash,
+                )
+            execution.skip_round0()
+        return execution.run()
 
     def _pending_targets(
         self,

@@ -1,4 +1,4 @@
-"""Scan scheduling: courteous target ordering across networks.
+"""Scan scheduling: courteous target ordering and probe-rate policy.
 
 The paper randomises destination order and runs scans serially "to
 avoid overloading networks" (§6).  Uniform shuffling achieves that in
@@ -7,12 +7,21 @@ interleave that bounds the *burst* any single routed prefix receives —
 the property an operations team actually wants to promise — and the
 ZMap-style :class:`CyclicPermutation` the scan engine uses to visit a
 target list in pseudo-random order with O(1) auxiliary memory.
+
+It is also where probe-rate *policy* lives: :class:`RatePolicy` is the
+budget/window admission rule (admit at most ``budget`` of every
+``window`` arrivals) that both sides of a rate cap share — the network
+side as :class:`repro.faults.RateLimiter` (a throttling router
+modelled as a fault) and the operator side as the campaign scheduler's
+per-prefix cap.  :class:`TenantBudget` is the scheduler's mutable
+per-tenant probe ledger.
 """
 
 from __future__ import annotations
 
 import random
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -113,6 +122,79 @@ class CyclicPermutation:
             images[walking] = encrypt(images[walking])
             walking = images >= self.n
         return images
+
+
+@dataclass(frozen=True)
+class RatePolicy:
+    """Budget/window admission: admit ``budget`` of every ``window`` slots.
+
+    The mechanics behind ICMPv6-style rate limiting, promoted from the
+    :class:`repro.faults.RateLimiter` fault model to a first-class
+    scheduling policy.  A probe hashed to arrival slot ``s`` is
+    admitted iff ``s % window < budget``; everything else about *which*
+    slot a probe lands in (the PRF over prefix/address/attempt) stays
+    with the consumer, so the fault overlay and the scheduler share one
+    definition of "over the cap" while keying it however they need.
+    """
+
+    budget: int = 64
+    window: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 < self.budget <= self.window:
+            raise ValueError(
+                f"budget must be in (0, window]: {self.budget}/{self.window}"
+            )
+
+    @property
+    def admitted_fraction(self) -> float:
+        """Long-run fraction of arrivals the policy admits."""
+        return self.budget / self.window
+
+    def admits(self, slot: int) -> bool:
+        """Whether the arrival hashed to ``slot`` is within the budget."""
+        return slot % self.window < self.budget
+
+    def admits_arr(self, slots: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`admits` over a uint64 slot column."""
+        return slots % np.uint64(self.window) < np.uint64(self.budget)
+
+
+@dataclass
+class TenantBudget:
+    """Mutable per-tenant probe ledger for the campaign scheduler.
+
+    ``limit`` is the tenant's total first-attempt probe budget across
+    all of its campaigns (``None`` = unlimited); ``spent`` accumulates
+    as the scheduler charges probe batches.  Enforcement is batch
+    granular: the scheduler checks :attr:`exhausted` before dispatching
+    a batch, so overshoot is bounded by one batch.
+    """
+
+    limit: int | None = None
+    spent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise ValueError(f"limit must be >= 0: {self.limit}")
+        if self.spent < 0:
+            raise ValueError(f"spent must be >= 0: {self.spent}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+    def remaining(self) -> float:
+        """Probes left before exhaustion (``inf`` when unlimited)."""
+        if self.limit is None:
+            return float("inf")
+        return max(0, self.limit - self.spent)
+
+    def charge(self, probes: int) -> None:
+        """Record ``probes`` first-attempt probes against the budget."""
+        if probes < 0:
+            raise ValueError(f"cannot charge negative probes: {probes}")
+        self.spent += probes
 
 
 def interleave_by_network(

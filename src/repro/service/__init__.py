@@ -1,0 +1,14 @@
+"""Multi-tenant campaign service: a job queue over one shared simnet.
+
+An in-process daemon (:class:`CampaignService`) that accepts many
+concurrent campaign submissions, interleaves their probe batches
+fairly round-robin over one shared simulated Internet, enforces
+per-tenant probe budgets and rate policies, and supports
+pause/resume — warm (in memory) and cold (through the checkpoint
+layer).  Order-independent probe verdicts make every interleaving
+produce per-campaign results bit-identical to solo runs.
+"""
+
+from .daemon import CampaignJob, CampaignService, TenantPolicy
+
+__all__ = ["CampaignJob", "CampaignService", "TenantPolicy"]

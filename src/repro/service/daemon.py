@@ -1,0 +1,326 @@
+"""An in-process campaign daemon: many tenants, one simnet, fair turns.
+
+:class:`CampaignService` accepts concurrent campaign submissions into a
+job queue and interleaves their probe batches over one shared simulated
+Internet and worker pool.  Scheduling is round-robin with a per-tenant
+batch quantum: every active job gets the same number of probe batches
+per rotation, so N equal campaigns progress within one quantum of each
+other (the fairness tests pin this spread).
+
+The property that makes interleaving *safe* is the stack's
+order-independent determinism: every probe verdict is a pure function
+of ``(key, address, attempt)``, so executing campaign A's batches
+between two batches of campaign B cannot change what either observes.
+Per-campaign results under any interleaving are bit-identical to solo
+runs — the parity tests and the CI service-parity job enforce it.
+
+Tenant isolation is structural: each campaign owns its scanner and
+execution state; the scheduler touches jobs only through the
+:class:`~repro.campaign.Campaign` stepwise API.  A failing campaign
+(bad prefix set, injected crash) is sealed with ``abort()`` and
+dequeued — the rotation simply tightens around the survivors.  A
+tenant whose probe budget runs out has its jobs interrupted with
+partial results; other tenants never see the difference.
+
+Preemption is stopping: :meth:`CampaignService.pause` removes a job
+from the rotation (its checkpoint file, when armed, already holds a
+resumable prefix), :meth:`CampaignService.resume` re-enters it.  A
+cold preempt — kill the service, start a new one, resubmit with
+``resume=True`` — goes through the PR 4 checkpoint layer and finishes
+bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..campaign import Campaign, CampaignResult, CampaignSpec
+from ..scanner.schedule import RatePolicy, TenantBudget
+from ..telemetry.spans import Telemetry, ensure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.models import WorkerCrash
+    from ..ipv6.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant scheduling policy.
+
+    ``probe_budget`` caps the tenant's total first-attempt probes
+    across all its campaigns (None = unlimited); enforcement is
+    batch-granular, so a tenant can overshoot by at most one batch.
+    ``prefix_rate`` applies a per-prefix probe rate cap (the shared
+    :class:`~repro.scanner.schedule.RatePolicy` core): the service
+    wraps the tenant's ground truth in the matching
+    :class:`~repro.faults.RateLimiter` overlay, so scheduler-side
+    policy and network-side enforcement come from one object.
+    ``quantum`` is the number of probe batches the tenant's job runs
+    per scheduler rotation.
+    """
+
+    probe_budget: int | None = None
+    prefix_rate: RatePolicy | None = None
+    rate_prefix_len: int = 64
+    rate_seed: int = 0
+    quantum: int = 4
+
+    def __post_init__(self):
+        if self.quantum < 1:
+            raise ValueError(f"quantum must be >= 1: {self.quantum}")
+
+
+@dataclass
+class _Tenant:
+    name: str
+    policy: TenantPolicy
+    budget: TenantBudget = field(default_factory=TenantBudget)
+
+
+@dataclass
+class CampaignJob:
+    """One submitted campaign and its scheduling state."""
+
+    job_id: str
+    tenant: str
+    campaign: Campaign
+    state: str = "queued"  # queued|running|paused|finished|budget_exhausted|failed
+    error: str | None = None
+    resume: bool = False
+    crash: "WorkerCrash | None" = None
+    #: probes_sent already charged to the tenant's budget.
+    charged: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.state in ("queued", "running")
+
+    @property
+    def result(self) -> CampaignResult | None:
+        return self.campaign.result
+
+
+class CampaignService:
+    """In-process multi-tenant campaign scheduler over one shared simnet.
+
+    ``truth``/``bgp`` are the shared world every campaign scans.
+    Register tenants, submit campaigns, then drive the scheduler with
+    :meth:`step` (one rotation turn) or :meth:`run_until_idle`.
+    """
+
+    def __init__(self, truth, bgp, *, telemetry: Telemetry | None = None):
+        self.truth = truth
+        self.bgp = bgp
+        self.telemetry = telemetry
+        self._tele = ensure(telemetry)
+        self.tenants: dict[str, _Tenant] = {}
+        self.jobs: dict[str, CampaignJob] = {}
+        self._rotation: deque[str] = deque()
+        self._ids = itertools.count(1)
+
+    # -- tenants and submission ----------------------------------------
+
+    def register_tenant(
+        self, name: str, policy: TenantPolicy | None = None
+    ) -> None:
+        if name in self.tenants:
+            raise ValueError(f"tenant already registered: {name!r}")
+        policy = policy or TenantPolicy()
+        self.tenants[name] = _Tenant(
+            name=name,
+            policy=policy,
+            budget=TenantBudget(limit=policy.probe_budget),
+        )
+
+    def submit(
+        self,
+        tenant: str,
+        groups: "Mapping[Prefix, Sequence[int]]",
+        spec: CampaignSpec,
+        *,
+        name: str | None = None,
+        checkpoint_path: str | None = None,
+        resume: bool = False,
+        crash: "WorkerCrash | None" = None,
+        telemetry: Telemetry | None = None,
+    ) -> str:
+        """Queue a campaign for ``tenant``; returns its job id.
+
+        The campaign scans the service's shared truth, wrapped in the
+        tenant's rate-limit overlay when its policy sets one.  Nothing
+        runs until the scheduler gives the job a turn.
+        """
+        if tenant not in self.tenants:
+            raise KeyError(f"unknown tenant: {tenant!r}")
+        policy = self.tenants[tenant].policy
+        truth = self.truth
+        if policy.prefix_rate is not None:
+            from ..faults.ground import FaultyGroundTruth
+            from ..faults.models import RateLimiter
+
+            truth = FaultyGroundTruth(
+                self.truth,
+                RateLimiter.from_policy(
+                    policy.prefix_rate,
+                    seed=policy.rate_seed,
+                    prefix_len=policy.rate_prefix_len,
+                ),
+            )
+        job_id = f"job-{next(self._ids)}"
+        campaign = Campaign(
+            truth, self.bgp, groups, spec,
+            telemetry=telemetry if telemetry is not None else self.telemetry,
+            checkpoint_path=checkpoint_path,
+            name=name or job_id,
+        )
+        job = CampaignJob(
+            job_id=job_id, tenant=tenant, campaign=campaign,
+            resume=resume, crash=crash,
+        )
+        self.jobs[job_id] = job
+        self._rotation.append(job_id)
+        self._tele.count("service.submitted")
+        return job_id
+
+    # -- the scheduler -------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """True when no job is queued or running (paused jobs don't count)."""
+        return not self._rotation
+
+    def step(self) -> bool:
+        """Give the next job in the rotation one turn; False when idle.
+
+        A turn is: begin a queued campaign (generation + scan arming),
+        or run up to ``quantum`` probe batches of a running one.  A job
+        that finishes, fails, or exhausts its tenant's budget during
+        the turn is sealed and leaves the rotation; otherwise it goes
+        to the back of the queue.
+        """
+        if not self._rotation:
+            return False
+        job = self.jobs[self._rotation.popleft()]
+        tenant = self.tenants[job.tenant]
+        try:
+            if job.state == "queued":
+                if tenant.budget.exhausted:
+                    # The tenant spent its budget before this job ever
+                    # ran: never begin (generation is wasted work).
+                    job.state = "budget_exhausted"
+                    self._tele.count("service.budget_exhausted")
+                    return True
+                job.campaign.begin(resume=job.resume, crash=job.crash)
+                job.state = "running"
+                self._rotation.append(job.job_id)
+                return True
+            for _ in range(tenant.policy.quantum):
+                more = job.campaign.step()
+                self._charge(job, tenant)
+                if not more:
+                    job.campaign.finish()
+                    job.state = "finished"
+                    self._tele.count("service.finished")
+                    return True
+                if tenant.budget.exhausted:
+                    job.campaign.interrupt()
+                    job.state = "budget_exhausted"
+                    self._tele.count("service.budget_exhausted")
+                    return True
+            self._rotation.append(job.job_id)
+        except Exception as exc:
+            # Isolation: this job is sealed; the rotation (already
+            # popped) tightens around the other tenants' jobs.
+            if job.campaign.state == "running":
+                job.campaign.abort()
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._tele.count("service.failed")
+            self._tele.event(
+                "service_job_failed",
+                {"job": job.job_id, "tenant": job.tenant, "error": job.error},
+            )
+        return True
+
+    def run_until_idle(self) -> None:
+        """Drive the scheduler until every job has left the rotation."""
+        while self.step():
+            pass
+
+    def _charge(self, job: CampaignJob, tenant: _Tenant) -> None:
+        # Budgets are first-attempt probe budgets (the paper's unit);
+        # retransmits ride free, like blacklisted targets.
+        sent = job.campaign.execution.stats.probes_sent
+        delta = sent - job.charged
+        if delta:
+            tenant.budget.charge(delta)
+            job.charged = sent
+
+    # -- preemption ----------------------------------------------------
+
+    def pause(self, job_id: str) -> None:
+        """Remove a job from the rotation; its state stays in memory."""
+        job = self._job(job_id)
+        if not job.active:
+            raise ValueError(f"cannot pause job in state {job.state!r}")
+        if job_id in self._rotation:
+            self._rotation.remove(job_id)
+        job.state = "paused"
+        self._tele.count("service.paused")
+
+    def resume(self, job_id: str) -> None:
+        """Re-enter a paused job into the rotation."""
+        job = self._job(job_id)
+        if job.state != "paused":
+            raise ValueError(f"cannot resume job in state {job.state!r}")
+        job.state = "running" if job.campaign.state == "running" else "queued"
+        self._rotation.append(job_id)
+        self._tele.count("service.resumed")
+
+    # -- inspection ----------------------------------------------------
+
+    def progress(self, job_id: str) -> dict:
+        """A live progress snapshot of one job (cheap, side-effect free)."""
+        job = self._job(job_id)
+        out = {
+            "job": job.job_id,
+            "tenant": job.tenant,
+            "name": job.campaign.name,
+            "state": job.state,
+        }
+        if job.error is not None:
+            out["error"] = job.error
+        execution = job.campaign.execution
+        if execution is not None:
+            out.update(
+                targets=execution.n,
+                batches_done=execution.batches_done,
+                probes_sent=execution.stats.probes_sent,
+                retransmits=execution.stats.retransmits,
+                hits=len(execution.hits),
+            )
+        budget = self.tenants[job.tenant].budget
+        if budget.limit is not None:
+            out["budget_remaining"] = budget.remaining()
+        return out
+
+    def progress_all(self) -> list[dict]:
+        return [self.progress(job_id) for job_id in self.jobs]
+
+    def result(self, job_id: str) -> CampaignResult:
+        """The sealed result of a finished or interrupted job."""
+        job = self._job(job_id)
+        if job.campaign.result is None:
+            raise RuntimeError(
+                f"job {job_id} has no result (state {job.state!r})"
+            )
+        return job.campaign.result
+
+    def _job(self, job_id: str) -> CampaignJob:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job: {job_id!r}") from None

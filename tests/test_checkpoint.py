@@ -351,3 +351,91 @@ class TestBlacklistInteraction:
         resumed = scan(resume=load_scan_checkpoint(path))
         assert resumed.hits == baseline.hits
         assert resumed.stats == baseline.stats
+
+
+class TestCrossFeatureMatrix:
+    """Checkpoint/resume × retries × rate-limit policy × workers.
+
+    Every combination must resume bit-identical to an uninterrupted
+    run — including when a scheduling policy (the shared RatePolicy
+    core, enforced network-side by the RateLimiter overlay) is active.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("retries", [0, 2])
+    @pytest.mark.parametrize("rate_limited", [False, True])
+    def test_resume_bit_identical_under_policy(
+        self, tmp_path, workers, retries, rate_limited
+    ):
+        from repro.faults import FaultyGroundTruth, RateLimiter
+        from repro.scanner.schedule import RatePolicy
+
+        truth, targets = _world()
+        if rate_limited:
+            truth = FaultyGroundTruth(
+                truth,
+                RateLimiter.from_policy(
+                    RatePolicy(budget=96, window=128), seed=3, prefix_len=64
+                ),
+            )
+        baseline = _scan(truth, targets, retries=retries, workers=workers)
+
+        path = tmp_path / "ckpt.jsonl"
+        sink = JsonlSink(path)
+        with pytest.raises(InjectedWorkerCrash):
+            _scan(
+                truth, targets, retries=retries, workers=workers,
+                checkpoint=ScanCheckpointer(sink, every_batches=2),
+                crash=WorkerCrash(at_batch=7),
+            )
+        sink.close()
+
+        state = load_scan_checkpoint(path)
+        assert state is not None and not state.complete
+        resumed = _scan(
+            truth, targets, retries=retries, workers=workers, resume=state
+        )
+        assert resumed.hits == baseline.hits
+        assert resumed.stats == baseline.stats
+
+    @pytest.mark.parametrize("retries", [0, 1])
+    def test_service_cold_resume_with_rate_policy(self, tmp_path, retries):
+        """The full stack: rate-limited tenant, budget preempt, resume."""
+        from repro.analysis import experiments as ex
+        from repro.campaign import Campaign, CampaignSpec
+        from repro.faults import FaultyGroundTruth, RateLimiter
+        from repro.scanner.schedule import RatePolicy
+        from repro.service import CampaignService, TenantPolicy
+
+        context = ex.standard_context(0.1)
+        policy = RatePolicy(budget=64, window=256)
+        spec = CampaignSpec(
+            budget=1_000,
+            scan_config=ScanConfig(batch_size=128, retries=retries),
+        )
+        overlay = FaultyGroundTruth(
+            context.internet.truth,
+            RateLimiter.from_policy(policy, seed=0, prefix_len=64),
+        )
+        solo = Campaign(
+            overlay, context.internet.bgp, context.groups, spec
+        ).run()
+
+        ckpt = str(tmp_path / "svc.jsonl")
+        first = CampaignService(context.internet.truth, context.internet.bgp)
+        first.register_tenant(
+            "t", TenantPolicy(probe_budget=500, prefix_rate=policy)
+        )
+        j1 = first.submit("t", context.groups, spec, checkpoint_path=ckpt)
+        first.run_until_idle()
+        assert first.jobs[j1].state == "budget_exhausted"
+
+        second = CampaignService(context.internet.truth, context.internet.bgp)
+        second.register_tenant("t", TenantPolicy(prefix_rate=policy))
+        j2 = second.submit(
+            "t", context.groups, spec, checkpoint_path=ckpt, resume=True
+        )
+        second.run_until_idle()
+        result = second.result(j2)
+        assert result.raw_hits == solo.raw_hits
+        assert result.scan.stats == solo.scan.stats

@@ -50,6 +50,13 @@ class TestExamples:
         assert "classic pipeline" in out
         assert "adaptive pipeline" in out
 
+    def test_campaign_service(self):
+        out = _run("campaign_service.py", "0.05", "800")
+        assert "three tenants, three policies" in out
+        assert "scheduler idle after" in out
+        assert "resumed result identical to solo run: True" in out
+        assert "resumed campaign bit-identical to uninterrupted: True" in out
+
     def test_all_examples_listed(self):
         scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert {
@@ -58,6 +65,7 @@ class TestExamples:
             "compare_tgas.py",
             "alias_detection.py",
             "adaptive_scan.py",
+            "campaign_service.py",
         } <= scripts
 
     def test_custom_world(self):

@@ -254,3 +254,50 @@ class TestWorkerCrash:
         crash.check(1, 2)
         with pytest.raises(InjectedWorkerCrash):
             crash.check(1, 3)
+
+
+class TestRateLimiterPolicyCore:
+    """RateLimiter is a network-side shim over scanner.schedule.RatePolicy."""
+
+    def test_policy_property_reflects_params(self):
+        from repro.scanner.schedule import RatePolicy
+
+        limiter = RateLimiter(seed=1, budget=48, window=96)
+        assert limiter.policy == RatePolicy(budget=48, window=96)
+
+    def test_from_policy_roundtrip(self):
+        from repro.scanner.schedule import RatePolicy
+
+        policy = RatePolicy(budget=32, window=128)
+        limiter = RateLimiter.from_policy(
+            policy, seed=9, prefix_len=56, limited_fraction=0.5
+        )
+        assert limiter.policy == policy
+        assert (limiter.seed, limiter.prefix_len) == (9, 56)
+        assert limiter.limited_fraction == 0.5
+
+    def test_drop_is_policy_complement(self):
+        # The limiter drops exactly what the policy does not admit:
+        # verdicts depend only on the PRF slot, so checking many
+        # addresses covers the slot space.
+        from repro.faults.models import _SALT_ARRIVAL, _prf_bits
+
+        limiter = RateLimiter(seed=4, budget=16, window=64)
+        policy = limiter.policy
+        for i in range(500):
+            addr = (0x20010DB8 << 96) | i
+            slot = _prf_bits(
+                limiter.seed, _SALT_ARRIVAL,
+                limiter._prefix_of(addr), addr, 0,
+            )
+            assert limiter.drops(addr, 80, 0) == (not policy.admits(slot))
+
+    def test_pickles_with_cached_policy(self):
+        import pickle
+
+        limiter = RateLimiter(seed=2, budget=8, window=32)
+        clone = pickle.loads(pickle.dumps(limiter))
+        assert clone == limiter
+        assert clone.policy == limiter.policy
+        addr = 0x20010DB8 << 96 | 5
+        assert clone.drops(addr, 80, 0) == limiter.drops(addr, 80, 0)

@@ -193,3 +193,68 @@ class TestCyclicPermutationProperties:
 
         perm = CyclicPermutation(n, key=key)
         assert perm.permute_range(0, n) == [perm(i) for i in range(n)]
+
+
+class TestRatePolicy:
+    def test_validation(self):
+        from repro.scanner.schedule import RatePolicy
+
+        with pytest.raises(ValueError):
+            RatePolicy(budget=0)
+        with pytest.raises(ValueError):
+            RatePolicy(budget=10, window=5)
+
+    def test_admitted_fraction(self):
+        from repro.scanner.schedule import RatePolicy
+
+        assert RatePolicy(budget=64, window=256).admitted_fraction == 0.25
+        assert RatePolicy(budget=8, window=8).admitted_fraction == 1.0
+
+    def test_admits_scalar_and_array_agree(self):
+        import numpy as np
+
+        from repro.scanner.schedule import RatePolicy
+
+        policy = RatePolicy(budget=3, window=10)
+        slots = np.arange(100, dtype=np.uint64)
+        vector = policy.admits_arr(slots)
+        for slot in range(100):
+            assert vector[slot] == policy.admits(slot)
+
+    def test_admits_exact_window_fraction(self):
+        from repro.scanner.schedule import RatePolicy
+
+        policy = RatePolicy(budget=16, window=64)
+        admitted = sum(policy.admits(s) for s in range(64 * 10))
+        assert admitted == 16 * 10
+
+
+class TestTenantBudget:
+    def test_unlimited_by_default(self):
+        from repro.scanner.schedule import TenantBudget
+
+        budget = TenantBudget()
+        assert not budget.exhausted
+        assert budget.remaining() == float("inf")
+        budget.charge(10**9)
+        assert not budget.exhausted
+
+    def test_charge_and_exhaust(self):
+        from repro.scanner.schedule import TenantBudget
+
+        budget = TenantBudget(limit=100)
+        budget.charge(60)
+        assert budget.remaining() == 40
+        assert not budget.exhausted
+        budget.charge(60)
+        assert budget.spent == 120
+        assert budget.remaining() == 0
+        assert budget.exhausted
+
+    def test_validation(self):
+        from repro.scanner.schedule import TenantBudget
+
+        with pytest.raises(ValueError):
+            TenantBudget(limit=-1)
+        with pytest.raises(ValueError):
+            TenantBudget().charge(-5)
