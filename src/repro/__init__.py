@@ -12,7 +12,9 @@ The package provides:
 * :mod:`repro.scanner` — a ZMap-like probe engine and the §6.2
   dealiasing pipeline;
 * :mod:`repro.analysis` — the per-figure/table experiment harness;
-* :mod:`repro.datasets` — synthetic CDN datasets and hitlist I/O.
+* :mod:`repro.datasets` — synthetic CDN datasets and hitlist I/O;
+* :mod:`repro.hitlist` — the living hitlist store and delta-campaign
+  planner for longitudinal scans over a churning world.
 
 Quickstart::
 

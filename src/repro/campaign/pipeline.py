@@ -64,9 +64,14 @@ class CampaignSpec:
 
 @dataclass
 class CampaignResult:
-    """A finished (or interrupted) campaign's outputs, stage by stage."""
+    """A finished (or interrupted) campaign's outputs, stage by stage.
 
-    run: "MultiPrefixRun"
+    ``run`` is ``None`` for campaigns that bypassed generation via an
+    explicit target list (see ``Campaign(targets=...)``) — the delta
+    re-probe path plans its own targets.
+    """
+
+    run: "MultiPrefixRun | None"
     scan: ScanResult
     report: DealiasReport
     #: True when the campaign was stopped early (budget exhaustion,
@@ -107,6 +112,13 @@ class Campaign:
     streaming: per-prefix generation events plus scan checkpoints land
     in one JSONL file, and a later campaign with ``resume=True``
     continues from it, finishing bit-identical to an uninterrupted run.
+
+    ``targets`` overrides the generation stage: pass packed ``(hi,
+    lo)`` uint64 columns (or a plain address list) and the campaign
+    scans exactly those, skipping 6Gen.  The delta-campaign planner
+    (:mod:`repro.hitlist`) uses this to re-probe known hits; the
+    result's ``run`` output is then ``None``.  ``spec.budget`` is not
+    applied to explicit targets — the planner already budgeted them.
     """
 
     def __init__(
@@ -119,11 +131,13 @@ class Campaign:
         telemetry: Telemetry | None = None,
         checkpoint_path: str | None = None,
         name: str = "campaign",
+        targets=None,
     ):
         self.truth = truth
         self.bgp = bgp
         self.groups = groups
         self.spec = spec
+        self.targets = targets
         self.name = name
         self.telemetry = telemetry
         self._tele = ensure(telemetry)
@@ -152,17 +166,22 @@ class Campaign:
             with self._tele.span(
                 "full_scan", budget=spec.budget, port=spec.port
             ):
-                run = generate_per_prefix(
-                    self.groups, spec.budget, loose=spec.loose,
-                    telemetry=self.telemetry, progress_sink=ckpt_sink,
-                    processes=spec.gen_workers,
-                )
+                if self.targets is not None:
+                    run = None
+                    scan_targets = self.targets
+                else:
+                    run = generate_per_prefix(
+                        self.groups, spec.budget, loose=spec.loose,
+                        telemetry=self.telemetry, progress_sink=ckpt_sink,
+                        processes=spec.gen_workers,
+                    )
+                    scan_targets = run.iter_target_columns()
                 scanner = Scanner(
                     self.truth, config=spec.scan_config,
                     telemetry=self.telemetry,
                 )
                 scan = scanner.scan(
-                    run.iter_target_columns(), port=spec.port,
+                    scan_targets, port=spec.port,
                     checkpoint=checkpointer, resume=resume_state, crash=crash,
                 )
                 report = self._dealias(scanner, scan.hits)
@@ -197,16 +216,20 @@ class Campaign:
         )
         self._span.__enter__()
         try:
-            self.run_output = generate_per_prefix(
-                self.groups, spec.budget, loose=spec.loose,
-                telemetry=self.telemetry, progress_sink=self._ckpt_sink,
-                processes=spec.gen_workers,
-            )
+            if self.targets is not None:
+                scan_targets = self.targets
+            else:
+                self.run_output = generate_per_prefix(
+                    self.groups, spec.budget, loose=spec.loose,
+                    telemetry=self.telemetry, progress_sink=self._ckpt_sink,
+                    processes=spec.gen_workers,
+                )
+                scan_targets = self.run_output.iter_target_columns()
             self._scanner = Scanner(
                 self.truth, config=spec.scan_config, telemetry=self.telemetry
             )
             self.execution = self._scanner.start_execution(
-                self.run_output.iter_target_columns(), spec.port,
+                scan_targets, spec.port,
                 checkpoint=checkpointer, resume=resume_state, crash=crash,
             )
         except BaseException:

@@ -9,6 +9,7 @@ Subcommands mirror the toolchain of the paper:
 * ``simulate``   — build the simulated Internet and emit its seed snapshot;
 * ``service``    — run many tenant campaigns through the multi-tenant
   scheduler over one shared simulated Internet;
+* ``hitlist``    — inspect (or export from) a living-hitlist store;
 * ``experiment`` — run a named paper experiment and print its table/figure;
 * ``report``     — full-pipeline markdown report, or a telemetry run
   summary / two-run delta when given ``.jsonl`` files.
@@ -19,6 +20,12 @@ run manifest to a JSONL file (see ``docs/observability.md``), and
 ``scan`` / ``6gen`` / ``dealias`` / ``service`` accept ``--quiet`` /
 ``--json`` to replace the human output with nothing, or with a single
 machine-readable summary line.
+
+``scan`` and ``service`` additionally accept ``--epochs N
+--churn-seed S`` to run longitudinally: the world advances one churn
+epoch between passes (see :mod:`repro.simnet.dynamics`), and ``scan
+--hitlist PATH`` feeds every pass's outcome into a living-hitlist
+store (:mod:`repro.hitlist`).
 """
 
 from __future__ import annotations
@@ -193,8 +200,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             "world_seed": args.world_seed,
             "retries": args.retries,
             "resume": bool(args.resume),
+            "epochs": args.epochs,
+            "churn_seed": args.churn_seed,
         },
     )
+    if args.epochs > 1 or args.hitlist:
+        try:
+            return _scan_epochs(args, out, targets, internet, telemetry)
+        finally:
+            _close_telemetry(telemetry)
     # --resume CKPT continues from (and keeps appending to) that file;
     # --checkpoint starts or continues recording without restoring.
     ckpt_path = args.resume or args.checkpoint
@@ -256,6 +270,132 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             "hit_rate": round(result.stats.hit_rate, 6),
             "checkpoint": str(ckpt_path) if ckpt_path else None,
             "output": str(args.output) if args.output else None,
+        },
+    )
+    return 0
+
+
+def _scan_epochs(args, out, targets, internet, telemetry) -> int:
+    """The longitudinal ``scan`` path: one pass per churn epoch.
+
+    The world advances between passes; each pass is a complete scan of
+    the same target list against the epoch's state (a fresh scanner per
+    epoch — the stale-world guard forbids one execution spanning an
+    ``advance_to``).  With ``--hitlist`` every pass's outcome lands in
+    the living-hitlist store, snapshotted at the end.
+    """
+    from .hitlist import LivingHitlist
+    from .simnet.dynamics import DynamicWorld
+
+    if args.resume or args.checkpoint:
+        out.error(
+            "--epochs/--hitlist cannot be combined with "
+            "--checkpoint/--resume: a checkpoint is only valid within "
+            "one world epoch"
+        )
+        return 1
+    dynamic = DynamicWorld(
+        internet, churn_seed=args.churn_seed, telemetry=telemetry
+    )
+    store = None
+    if args.hitlist:
+        store = LivingHitlist.open(args.hitlist, telemetry=telemetry)
+        if store.latest_epoch >= 0:
+            out.say(
+                f"hitlist store {args.hitlist}: {len(store)} entries "
+                f"through epoch {store.latest_epoch}"
+            )
+    config = ScanConfig(retries=args.retries, workers=args.workers)
+    start = store.latest_epoch + 1 if store is not None else 0
+    epochs = []
+    hits: set[int] = set()
+    try:
+        for epoch in range(start, start + args.epochs):
+            dynamic.advance_to(epoch)
+            scanner = Scanner(
+                internet.truth, config=config, telemetry=telemetry
+            )
+            result = scanner.scan(targets, port=args.port)
+            hits = result.hits
+            row = {
+                "epoch": epoch,
+                "probes_sent": result.stats.probes_sent,
+                "hits": result.hit_count(),
+            }
+            if store is not None:
+                observed = store.observe(epoch, targets, result.hits)
+                row["misses"] = observed["misses"]
+                row["new_entries"] = observed["new"]
+                row["store_entries"] = len(store)
+            epochs.append(row)
+            out.say(
+                f"epoch {epoch}: {result.stats.probes_sent} probes, "
+                f"{result.hit_count()} hits"
+                + (f", store {len(store)} entries" if store else "")
+            )
+        if store is not None:
+            store.snapshot()
+            out.say(f"hitlist store -> {args.hitlist}")
+    finally:
+        if store is not None:
+            store.close()
+    if args.output:
+        write_hitlist(
+            args.output, sorted(hits),
+            header=f"TCP/{args.port} hits (final epoch)",
+        )
+        out.say(f"final-epoch hits written -> {args.output}")
+    out.finish(
+        "scan",
+        {
+            "targets": len(targets),
+            "port": args.port,
+            "epochs": epochs,
+            "churn_seed": args.churn_seed,
+            "hitlist": str(args.hitlist) if args.hitlist else None,
+            "output": str(args.output) if args.output else None,
+        },
+    )
+    return 0
+
+
+def _cmd_hitlist(args: argparse.Namespace) -> int:
+    """Inspect or export a living-hitlist store."""
+    import os
+
+    from .hitlist import LivingHitlist
+    from .ipv6.addrplane import unpack
+
+    out = _Output(args)
+    if not os.path.exists(args.store):
+        out.error(f"no hitlist store: {args.store}")
+        return 1
+    store = LivingHitlist.open(args.store)
+    store.close()  # inspection never appends events
+    epoch = args.epoch if args.epoch is not None else store.latest_epoch
+    summary = store.summary(epoch)
+    out.say(f"store: {args.store}")
+    out.say(f"entries: {summary['entries']} "
+            f"({summary['responders']} ever responded)")
+    out.say(f"as of epoch {summary['epoch']}: "
+            f"{summary['believed_live']} believed live, "
+            f"{summary['due_for_reprobe']} due for re-probe")
+    out.say(f"mean decayed score (responders): {summary['mean_score']:.3f}")
+    exported = None
+    if args.export:
+        addresses = unpack(*store.believed_live(epoch))
+        exported = write_hitlist(
+            args.export, addresses,
+            header=f"believed-live addresses as of epoch {epoch}",
+        )
+        out.say(f"believed-live addresses written: {exported} -> {args.export}")
+    out.finish(
+        "hitlist",
+        {
+            **summary,
+            "store": str(args.store),
+            "exported": exported,
+            "export": str(args.export) if args.export else None,
         },
     )
     return 0
@@ -349,55 +489,83 @@ def _cmd_service(args: argparse.Namespace) -> int:
             "retries": args.retries,
             "scale": args.scale,
             "world_seed": args.world_seed,
+            "epochs": args.epochs,
+            "churn_seed": args.churn_seed,
         },
     )
     spec = CampaignSpec(
         budget=args.budget, port=args.port,
         scan_config=ScanConfig(retries=args.retries),
     )
+    dynamic = None
+    if args.epochs > 1:
+        from .simnet.dynamics import DynamicWorld
+
+        dynamic = DynamicWorld(
+            internet, churn_seed=args.churn_seed, telemetry=telemetry
+        )
     try:
         service = CampaignService(
             internet.truth, internet.bgp, telemetry=telemetry
         )
-        jobs = []
         for i in range(args.tenants):
-            tenant = f"tenant-{i + 1}"
             service.register_tenant(
-                tenant,
+                f"tenant-{i + 1}",
                 TenantPolicy(
                     probe_budget=args.probe_budget, quantum=args.quantum
                 ),
             )
-            jobs.append(service.submit(tenant, groups, spec, name=tenant))
-        out.say(f"submitted {len(jobs)} campaigns "
-                f"(budget {args.budget}/prefix each)")
         turns = 0
-        while service.step():
-            turns += 1
-            if args.progress_every and turns % args.progress_every == 0:
-                for job_id in jobs:
-                    p = service.progress(job_id)
-                    if p["state"] in ("running", "queued"):
-                        out.say(
-                            f"  [{p['tenant']}] {p['state']}: "
-                            f"{p.get('probes_sent', 0)} probes, "
-                            f"{p.get('hits', 0)} hits"
-                        )
+        summaries = []
+        # Each epoch is a full submit-and-drain cycle: executions may
+        # not span an advance_to (the stale-world guard would trip), so
+        # the scheduler runs every campaign to completion before the
+        # world moves on.
+        for epoch in range(args.epochs):
+            if dynamic is not None:
+                dynamic.advance_to(epoch)
+            jobs = []
+            for i in range(args.tenants):
+                tenant = f"tenant-{i + 1}"
+                name = (
+                    f"{tenant}-epoch-{epoch}" if args.epochs > 1 else tenant
+                )
+                jobs.append(service.submit(tenant, groups, spec, name=name))
+            out.say(
+                (f"epoch {epoch}: " if args.epochs > 1 else "")
+                + f"submitted {len(jobs)} campaigns "
+                  f"(budget {args.budget}/prefix each)"
+            )
+            while service.step():
+                turns += 1
+                if args.progress_every and turns % args.progress_every == 0:
+                    for job_id in jobs:
+                        p = service.progress(job_id)
+                        if p["state"] in ("running", "queued"):
+                            out.say(
+                                f"  [{p['tenant']}] {p['state']}: "
+                                f"{p.get('probes_sent', 0)} probes, "
+                                f"{p.get('hits', 0)} hits"
+                            )
+            for job_id in jobs:
+                p = service.progress(job_id)
+                p["epoch"] = epoch
+                line = (f"{p['tenant']}: {p['state']}, "
+                        f"{p.get('probes_sent', 0)} probes, "
+                        f"{p.get('hits', 0)} hits")
+                if args.epochs > 1:
+                    line = f"epoch {epoch} {line}"
+                if p["state"] == "failed":
+                    line += f" ({p.get('error')})"
+                out.say(line)
+                summaries.append(p)
     finally:
         _close_telemetry(telemetry)
-    summaries = []
-    for job_id in jobs:
-        p = service.progress(job_id)
-        line = (f"{p['tenant']}: {p['state']}, "
-                f"{p.get('probes_sent', 0)} probes, {p.get('hits', 0)} hits")
-        if p["state"] == "failed":
-            line += f" ({p.get('error')})"
-        out.say(line)
-        summaries.append(p)
     out.finish(
         "service",
         {
             "tenants": args.tenants,
+            "epochs": args.epochs,
             "turns": turns,
             "jobs": summaries,
         },
@@ -711,10 +879,41 @@ def build_parser() -> argparse.ArgumentParser:
              "(same targets/port/retries required; continues appending "
              "to the same file)",
     )
+    p.add_argument(
+        "--epochs", type=int, default=1, metavar="N",
+        help="scan the targets once per churn epoch, advancing the "
+             "world between passes (default: 1 = static world)",
+    )
+    p.add_argument(
+        "--churn-seed", type=int, default=0,
+        help="PRF seed of the churn model (with --epochs)",
+    )
+    p.add_argument(
+        "--hitlist", metavar="STORE",
+        help="feed every pass into this living-hitlist store (JSONL; "
+             "created if missing, continued from its last epoch "
+             "otherwise)",
+    )
     add_world_options(p)
     add_output_options(p)
     add_telemetry_option(p)
     p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser(
+        "hitlist", help="inspect or export a living-hitlist store"
+    )
+    p.add_argument("store", help="living-hitlist JSONL store")
+    p.add_argument(
+        "--epoch", type=int, default=None, metavar="N",
+        help="evaluate belief as of this epoch (default: the store's "
+             "latest observed epoch)",
+    )
+    p.add_argument(
+        "--export", metavar="FILE",
+        help="write the believed-live addresses as a hitlist file",
+    )
+    add_output_options(p)
+    p.set_defaults(func=_cmd_hitlist)
 
     p = sub.add_parser("dealias", help="run §6.2 dealiasing on a hit list")
     p.add_argument("hits")
@@ -761,6 +960,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--progress-every", type=int, default=0, metavar="TURNS",
         help="print live per-tenant progress every N scheduler turns",
+    )
+    p.add_argument(
+        "--epochs", type=int, default=1, metavar="N",
+        help="repeat the full submit-and-drain cycle once per churn "
+             "epoch, advancing the world between cycles (default: 1)",
+    )
+    p.add_argument(
+        "--churn-seed", type=int, default=0,
+        help="PRF seed of the churn model (with --epochs)",
     )
     p.add_argument("--dns-seed", type=int, default=7)
     add_world_options(p)

@@ -35,6 +35,25 @@ class FaultyGroundTruth(GroundTruth):
         self.base = base
         self.fault = fault
 
+    # Memoised host tables and the mutation token live on the *base*
+    # truth only: the overlay shares the base's host dict, so keeping a
+    # second set of memos here would go stale whenever the world
+    # mutates through the base (e.g. the churn layer advancing an
+    # epoch).  Delegating makes a mutation through either object
+    # invalidate — and version-stamp — exactly one place.
+    @property
+    def world_version(self) -> tuple[int, int]:
+        return self.base.world_version
+
+    def invalidate(self) -> None:
+        self.base.invalidate()
+
+    def _ping_targets(self) -> set[int]:
+        return self.base._ping_targets()
+
+    def frozen_hosts(self, port: int = 80):
+        return self.base.frozen_hosts(port)
+
     def is_responsive(self, addr: int, port: int = 80, attempt: int = 0) -> bool:
         value = int(addr)
         if self.fault.drops(value, port, attempt):

@@ -1,0 +1,27 @@
+"""Living hitlists and delta campaigns for a churning simulated Internet.
+
+:mod:`repro.hitlist.store` keeps a persistent, decaying record of every
+address a campaign has ever probed; :mod:`repro.hitlist.delta` turns
+that record into epoch-by-epoch scan plans that re-probe only decayed
+belief and spend the saved probes on exploration.
+"""
+
+from .delta import DeltaCampaign, DeltaPlan, DeltaSpec
+from .store import (
+    DEFAULT_DECAY,
+    DEFAULT_LIVE_THRESHOLD,
+    DEFAULT_MISS_FORGET_AGE,
+    DEFAULT_REPROBE_THRESHOLD,
+    LivingHitlist,
+)
+
+__all__ = [
+    "DEFAULT_DECAY",
+    "DEFAULT_LIVE_THRESHOLD",
+    "DEFAULT_MISS_FORGET_AGE",
+    "DEFAULT_REPROBE_THRESHOLD",
+    "DeltaCampaign",
+    "DeltaPlan",
+    "DeltaSpec",
+    "LivingHitlist",
+]

@@ -1,0 +1,456 @@
+"""The living hitlist: a persistent, decaying record of responsive addresses.
+
+The paper's hitlists are static snapshots; against a churning Internet
+(privacy rotation, DHCP cycling, hosts joining and leaving — see
+:mod:`repro.simnet.dynamics`) a snapshot goes stale within a few
+epochs.  :class:`LivingHitlist` keeps per-address observation state —
+when each address last answered, when it was last probed, and an
+exponentially decaying responsiveness score — so a delta campaign
+(:mod:`repro.hitlist.delta`) can re-probe only the addresses whose
+belief has decayed and spend the rest of its budget exploring.
+
+Layout is column-native, matching the scan plane: parallel numpy
+arrays (``hi``/``lo`` uint64 address halves, int64 epochs, float64
+scores) kept sorted by the order-preserving ``S16`` fused key from
+:func:`repro.ipv6.addrplane.fuse`, so batch updates and membership
+tests are ``searchsorted`` passes, never Python loops over boxed
+128-bit ints.
+
+Scoring: an address probed at epoch ``e`` updates as
+``score <- score * decay**(e - last_probed) + (1 if hit else 0)``.
+The stored score is therefore always "as of ``last_probed``"; queries
+decay it forward to the asked-about epoch.  With the default
+``decay=0.6``, one fresh hit scores 1.0, stays *believed live*
+(``>= live_threshold``) for several epochs, and falls *due for
+re-probe* (``< reprobe_threshold``) after about two — which is where a
+delta campaign's probe savings come from.
+
+Persistence mirrors the scan checkpoint layer: an append-only JSONL
+event log (one ``observe`` record per ingested scan, flushed per
+line), compacted by ``snapshot`` markers pointing at an ``.npz``
+column dump written atomically via temp-file + rename.  Loading reads
+the last snapshot and replays the tail, so a crash mid-run loses at
+most one partial trailing line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..ipv6.addrplane import fuse, pack, unpack
+from ..telemetry.sinks import JsonlSink, read_jsonl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.spans import Telemetry
+
+#: Per-epoch multiplicative score decay.
+DEFAULT_DECAY = 0.6
+#: Decayed score at or above which an address is believed live.
+DEFAULT_LIVE_THRESHOLD = 0.1
+#: Decayed score below which a known responder is due for re-probe.
+DEFAULT_REPROBE_THRESHOLD = 0.45
+#: Epochs after the last response before a silent address is abandoned.
+DEFAULT_MISS_FORGET_AGE = 8
+
+_FORMAT = "repro-hitlist"
+_VERSION = 1
+
+
+def _as_columns(targets) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce an address source to packed ``(hi, lo)`` columns."""
+    if isinstance(targets, tuple) and len(targets) == 2:
+        return targets
+    return pack(sorted(int(a) for a in targets))
+
+
+class LivingHitlist:
+    """Per-address observation state with exponential score decay.
+
+    Build empty (optionally bound to a ``path`` for persistence) or via
+    :meth:`open` to reload an existing store.  Feed scan outcomes with
+    :meth:`observe`; plan re-probes with :meth:`due_for_reprobe` and
+    read the current belief with :meth:`believed_live`.
+    """
+
+    def __init__(
+        self,
+        *,
+        decay: float = DEFAULT_DECAY,
+        path: str | os.PathLike | None = None,
+        telemetry: "Telemetry | None" = None,
+    ):
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1): {decay}")
+        self.decay = float(decay)
+        self.path = os.fspath(path) if path is not None else None
+        self._keys = np.empty(0, dtype="S16")
+        self._hi = np.empty(0, dtype=np.uint64)
+        self._lo = np.empty(0, dtype=np.uint64)
+        self._last_seen = np.empty(0, dtype=np.int64)
+        self._last_probed = np.empty(0, dtype=np.int64)
+        self._score = np.empty(0, dtype=np.float64)
+        #: Highest epoch any observation has been recorded at.
+        self.latest_epoch = -1
+        #: Events appended since the last snapshot (compaction trigger).
+        self.events_since_snapshot = 0
+        from ..telemetry.spans import ensure
+
+        self._tele = ensure(telemetry)
+        self._sink: JsonlSink | None = None
+        if self.path is not None:
+            self._sink = JsonlSink(self.path)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        *,
+        decay: float = DEFAULT_DECAY,
+        telemetry: "Telemetry | None" = None,
+    ) -> "LivingHitlist":
+        """Reload a store from its event log (last snapshot + tail).
+
+        Missing files yield an empty store bound to ``path`` — opening
+        is how a longitudinal run bootstraps its first epoch.
+        """
+        path = os.fspath(path)
+        events: list[dict] = []
+        if os.path.exists(path):
+            events = read_jsonl(path)
+        store = cls.__new__(cls)
+        # Re-run __init__ without the sink so replay does not re-log.
+        LivingHitlist.__init__(store, decay=decay, telemetry=telemetry)
+        store.path = path
+        # Find the last usable snapshot marker and replay from there.
+        start = 0
+        for index, event in enumerate(events):
+            if event.get("kind") != "snapshot":
+                continue
+            snap_path = os.path.join(
+                os.path.dirname(path) or ".", event["file"]
+            )
+            if os.path.exists(snap_path):
+                start = index + 1
+                store._load_snapshot(snap_path)
+        for event in events[start:]:
+            if event.get("kind") == "observe":
+                store._replay(event)
+        store._sink = JsonlSink(path)
+        return store
+
+    def _load_snapshot(self, snap_path: str) -> None:
+        with np.load(snap_path) as data:
+            self._hi = data["hi"].astype(np.uint64)
+            self._lo = data["lo"].astype(np.uint64)
+            self._last_seen = data["last_seen"].astype(np.int64)
+            self._last_probed = data["last_probed"].astype(np.int64)
+            self._score = data["score"].astype(np.float64)
+            self.latest_epoch = int(data["latest_epoch"])
+        self._keys = fuse(self._hi, self._lo)
+        self.events_since_snapshot = 0
+
+    def _replay(self, event: dict) -> None:
+        epoch = int(event["epoch"])
+        hits = [int(a, 16) for a in event.get("hits", ())]
+        misses = [int(a, 16) for a in event.get("misses", ())]
+        self._apply(epoch, hits, misses)
+        self.events_since_snapshot += 1
+
+    # -- ingestion -----------------------------------------------------
+
+    def observe(
+        self,
+        epoch: int,
+        probed,
+        hits: "Iterable[int] | set[int]",
+    ) -> dict:
+        """Record one scan's outcome: every probed address, hit or miss.
+
+        ``probed`` is the scan's deduplicated target source (packed
+        columns or ints); ``hits`` the responsive subset.  Addresses
+        never seen before are admitted; known addresses get their score
+        decayed to ``epoch`` and bumped (hit) or left to fade (miss).
+        Returns a small summary dict (``hits``/``misses``/``new``).
+        """
+        epoch = int(epoch)
+        if epoch < self.latest_epoch:
+            raise ValueError(
+                f"observations must be epoch-ordered: got {epoch} after "
+                f"{self.latest_epoch}"
+            )
+        hit_set = {int(a) for a in hits}
+        phi, plo = _as_columns(probed)
+        probed_ints = unpack(phi, plo)
+        hit_list = sorted(a for a in probed_ints if a in hit_set)
+        miss_list = sorted(a for a in probed_ints if a not in hit_set)
+        # Hits outside the probed set (e.g. retries of earlier targets)
+        # still count as observations.
+        extra = sorted(hit_set.difference(probed_ints))
+        hit_list = sorted(set(hit_list).union(extra))
+        before = len(self._keys)
+        self._apply(epoch, hit_list, miss_list)
+        summary = {
+            "hits": len(hit_list),
+            "misses": len(miss_list),
+            "new": len(self._keys) - before,
+        }
+        if self._sink is not None:
+            self._sink.emit(
+                {
+                    "kind": "observe",
+                    "epoch": epoch,
+                    "hits": [f"{a:x}" for a in hit_list],
+                    "misses": [f"{a:x}" for a in miss_list],
+                }
+            )
+            self.events_since_snapshot += 1
+        if self._tele.enabled:
+            self._tele.count("hitlist.observed", len(hit_list) + len(miss_list))
+            self._tele.gauge("hitlist.size", len(self._keys))
+        return summary
+
+    def _apply(self, epoch: int, hit_list: list[int], miss_list: list[int]) -> None:
+        if not hit_list and not miss_list:
+            self.latest_epoch = max(self.latest_epoch, epoch)
+            return
+        uhi, ulo = pack(hit_list + miss_list)
+        flags = np.zeros(len(uhi), dtype=np.float64)
+        flags[: len(hit_list)] = 1.0
+        keys = fuse(uhi, ulo)
+        # Updates may repeat an address (hit + miss lists are disjoint,
+        # but defensive dedupe keeps replay robust); keep the hit.
+        order = np.argsort(keys, kind="stable")
+        keys, uhi, ulo, flags = keys[order], uhi[order], ulo[order], flags[order]
+        if len(keys) > 1:
+            distinct = np.empty(len(keys), dtype=bool)
+            distinct[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=distinct[1:])
+            if not distinct.all():
+                group = np.cumsum(distinct) - 1
+                agg = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+                np.maximum.at(agg, group, flags)
+                keys, uhi, ulo = keys[distinct], uhi[distinct], ulo[distinct]
+                flags = agg
+        n = len(self._keys)
+        pos = np.searchsorted(self._keys, keys)
+        found = np.zeros(len(keys), dtype=bool)
+        if n:
+            inside = pos < n
+            found[inside] = self._keys[pos[inside]] == keys[inside]
+        # Known addresses: decay the stored score to `epoch`, add the
+        # outcome, stamp the probe (and the sighting on a hit).
+        idx = pos[found]
+        if len(idx):
+            dt = np.maximum(epoch - self._last_probed[idx], 0)
+            self._score[idx] = (
+                self._score[idx] * self.decay ** dt + flags[found]
+            )
+            self._last_probed[idx] = epoch
+            hit_idx = idx[flags[found] > 0]
+            self._last_seen[hit_idx] = epoch
+        # New addresses: append, then restore sorted order in one pass.
+        fresh = ~found
+        if fresh.any():
+            f_hi, f_lo, f_flags = uhi[fresh], ulo[fresh], flags[fresh]
+            f_seen = np.where(f_flags > 0, epoch, -1).astype(np.int64)
+            self._hi = np.concatenate([self._hi, f_hi])
+            self._lo = np.concatenate([self._lo, f_lo])
+            self._last_seen = np.concatenate([self._last_seen, f_seen])
+            self._last_probed = np.concatenate(
+                [self._last_probed, np.full(len(f_hi), epoch, dtype=np.int64)]
+            )
+            self._score = np.concatenate([self._score, f_flags])
+            self._keys = np.concatenate([self._keys, keys[fresh]])
+            order = np.argsort(self._keys, kind="stable")
+            self._keys = self._keys[order]
+            self._hi = self._hi[order]
+            self._lo = self._lo[order]
+            self._last_seen = self._last_seen[order]
+            self._last_probed = self._last_probed[order]
+            self._score = self._score[order]
+        self.latest_epoch = max(self.latest_epoch, epoch)
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def decayed_scores(self, epoch: int) -> np.ndarray:
+        """Every entry's score decayed forward to ``epoch``."""
+        dt = np.maximum(int(epoch) - self._last_probed, 0)
+        return self._score * self.decay ** dt
+
+    def believed_live(
+        self, epoch: int, *, threshold: float = DEFAULT_LIVE_THRESHOLD
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Addresses believed responsive at ``epoch`` (packed columns)."""
+        mask = (self._last_seen >= 0) & (
+            self.decayed_scores(epoch) >= threshold
+        )
+        return self._hi[mask].copy(), self._lo[mask].copy()
+
+    def due_for_reprobe(
+        self,
+        epoch: int,
+        *,
+        threshold: float = DEFAULT_REPROBE_THRESHOLD,
+        miss_forget_age: int = DEFAULT_MISS_FORGET_AGE,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Known responders whose belief has decayed below ``threshold``.
+
+        Addresses silent for more than ``miss_forget_age`` epochs since
+        their last response are abandoned (exploration can rediscover
+        them); addresses probed recently enough to still score above
+        ``threshold`` are skipped — the delta campaign's probe savings.
+        """
+        decayed = self.decayed_scores(epoch)
+        mask = (
+            (self._last_seen >= 0)
+            & (decayed < threshold)
+            & (int(epoch) - self._last_seen <= miss_forget_age)
+        )
+        return self._hi[mask].copy(), self._lo[mask].copy()
+
+    def probed_within(self, epoch: int, age: int) -> np.ndarray:
+        """Fused S16 keys of entries probed in the last ``age`` epochs.
+
+        The delta planner's exploration filter: freshly generated
+        targets matching these keys were checked recently and are not
+        worth re-spending probes on this epoch.
+        """
+        mask = (int(epoch) - self._last_probed) < age
+        return self._keys[mask]
+
+    def summary(self, epoch: int | None = None) -> dict:
+        """Counts and score aggregates (for the CLI and the bench)."""
+        epoch = self.latest_epoch if epoch is None else int(epoch)
+        decayed = self.decayed_scores(epoch)
+        responders = self._last_seen >= 0
+        believed = responders & (decayed >= DEFAULT_LIVE_THRESHOLD)
+        due = (
+            responders
+            & (decayed < DEFAULT_REPROBE_THRESHOLD)
+            & (epoch - self._last_seen <= DEFAULT_MISS_FORGET_AGE)
+        )
+        return {
+            "epoch": epoch,
+            "entries": len(self._keys),
+            "responders": int(responders.sum()),
+            "believed_live": int(believed.sum()),
+            "due_for_reprobe": int(due.sum()),
+            "mean_score": float(decayed[responders].mean())
+            if responders.any()
+            else 0.0,
+        }
+
+    def freshness(
+        self, epoch: int, live: tuple[np.ndarray, np.ndarray]
+    ) -> dict:
+        """Belief quality against ground-truth ``live`` columns.
+
+        ``freshness`` is the fraction of truly live addresses the store
+        currently believes live (recall); ``staleness`` the fraction of
+        believed-live addresses that are actually gone (belief rot).
+        """
+        bhi, blo = self.believed_live(epoch)
+        believed_keys = fuse(bhi, blo)
+        live_keys = np.sort(fuse(*live))
+        overlap = int(np.isin(believed_keys, live_keys).sum())
+        return {
+            "epoch": int(epoch),
+            "live": len(live_keys),
+            "believed": len(believed_keys),
+            "overlap": overlap,
+            "freshness": overlap / len(live_keys) if len(live_keys) else 1.0,
+            "staleness": (
+                (len(believed_keys) - overlap) / len(believed_keys)
+                if len(believed_keys)
+                else 0.0
+            ),
+        }
+
+    # -- persistence ---------------------------------------------------
+
+    def snapshot(self) -> str:
+        """Compact: dump columns to ``.npz`` and mark the event log.
+
+        The dump is written next to the log via temp-file + atomic
+        rename, then a ``snapshot`` marker is appended; a crash between
+        the two leaves the previous snapshot + full tail, which replays
+        to the identical state.
+        """
+        if self.path is None:
+            raise ValueError("snapshot() requires a store opened with a path")
+        snap_name = os.path.basename(self.path) + ".snap.npz"
+        directory = os.path.dirname(self.path) or "."
+        final = os.path.join(directory, snap_name)
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.savez(
+                handle,
+                format=_FORMAT,
+                version=_VERSION,
+                hi=self._hi,
+                lo=self._lo,
+                last_seen=self._last_seen,
+                last_probed=self._last_probed,
+                score=self._score,
+                latest_epoch=self.latest_epoch,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        if self._sink is not None:
+            self._sink.emit(
+                {
+                    "kind": "snapshot",
+                    "epoch": self.latest_epoch,
+                    "file": snap_name,
+                    "count": len(self._keys),
+                }
+            )
+        self.events_since_snapshot = 0
+        return final
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "LivingHitlist":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- interop -------------------------------------------------------
+
+    def addresses(self) -> list[int]:
+        """All tracked addresses as Python ints (ascending)."""
+        return unpack(self._hi, self._lo)
+
+    def known_responders(self) -> tuple[np.ndarray, np.ndarray]:
+        """Every address that ever answered, as packed columns."""
+        mask = self._last_seen >= 0
+        return self._hi[mask].copy(), self._lo[mask].copy()
+
+    def state_digest(self) -> str:
+        """Order-sensitive digest of the full column state (parity tests)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for arr in (
+            self._hi, self._lo, self._last_seen, self._last_probed,
+        ):
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        digest.update(
+            np.ascontiguousarray(self._score).astype("<f8").tobytes()
+        )
+        digest.update(str(self.latest_epoch).encode())
+        return digest.hexdigest()

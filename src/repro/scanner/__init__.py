@@ -20,6 +20,7 @@ from .dealias import (
 )
 from .engine import ScanConfig, Scanner
 from .execution import ScanExecution
+from .plane import ScanPlane, StaleWorldError
 from .schedule import (
     CyclicPermutation,
     RatePolicy,
@@ -36,6 +37,8 @@ __all__ = [
     "DEFAULT_PORT",
     "RatePolicy",
     "ScanExecution",
+    "ScanPlane",
+    "StaleWorldError",
     "TenantBudget",
     "AliasedSummary",
     "DealiasReport",

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Iterator
 
-from .plane import ScanPlane
+from .plane import ScanPlane, StaleWorldError
 from .probe import ScanResult, ScanStats
 from .schedule import CyclicPermutation
 
@@ -114,6 +114,12 @@ class ScanExecution:
                 scanner.loss_rate,
             )
         self.n = len(cols[0]) if cols is not None else len(ordered)
+        # Version token of the world this execution was planned against.
+        # A stepped execution spans wall-clock time; if the truth
+        # mutates in between (churn advancing an epoch), both the frozen
+        # plane and the already-computed pending sets describe a world
+        # that no longer exists, so step() refuses to continue.
+        self.world_version = getattr(scanner.truth, "world_version", None)
         self._round0_external = False
         self._result = None
         self._gen = self._work()
@@ -145,6 +151,7 @@ class ScanExecution:
         """
         if self._result is not None:
             return False
+        self._check_fresh()
         if self._started_at is None:
             self._started_at = time.perf_counter()
         try:
@@ -154,6 +161,20 @@ class ScanExecution:
             return False
         self.batches_done += 1
         return True
+
+    def _check_fresh(self) -> None:
+        """Refuse to step against a world that mutated since planning."""
+        if self.world_version is None:
+            return
+        current = getattr(self.scanner.truth, "world_version", None)
+        if current is not None and current != self.world_version:
+            raise StaleWorldError(
+                "scan execution was planned at world version "
+                f"{self.world_version} but the truth is now at "
+                f"{current}; the world mutated mid-scan (e.g. "
+                "DynamicWorld.advance_to) — finish or abort campaigns "
+                "before advancing, then plan a fresh scan"
+            )
 
     def run(self) -> ScanResult:
         """Drive the execution to completion and return its result."""

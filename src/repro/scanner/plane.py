@@ -50,6 +50,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _TWO64 = np.float64(2**64)
 
 
+class StaleWorldError(RuntimeError):
+    """A frozen scan context outlived the world it was built against.
+
+    Raised when a :class:`ScanPlane` (or a stepped
+    :class:`~repro.scanner.execution.ScanExecution`) is used after the
+    ground truth mutated — e.g. the churn layer advanced an epoch
+    mid-campaign.  Frozen host/alias tables are snapshots; silently
+    reusing them would report hits from a world that no longer exists.
+    """
+
+
 def loss_prf_arr(key: int, hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
     """Vectorised ``engine._loss_prf``: uniform-in-[0,1) per address.
 
@@ -68,7 +79,7 @@ class ScanPlane:
 
     __slots__ = (
         "hi", "lo", "blacklist_table", "host_keys", "alias_table",
-        "fault", "loss_rate", "port", "permuted",
+        "fault", "loss_rate", "port", "permuted", "world_version",
     )
 
     def __init__(
@@ -82,6 +93,7 @@ class ScanPlane:
         fault: "FaultModel | None",
         loss_rate: float,
         port: int,
+        world_version: tuple[int, int] | None = None,
     ):
         self.hi = hi
         self.lo = lo
@@ -91,6 +103,9 @@ class ScanPlane:
         self.fault = fault
         self.loss_rate = loss_rate
         self.port = port
+        # Version token of the truth this plane froze (None when built
+        # from raw columns without a truth in hand).
+        self.world_version = world_version
         # Lazily materialised permuted target columns (see gather()).
         self.permuted: tuple[np.ndarray, np.ndarray] | None = None
 
@@ -146,7 +161,21 @@ class ScanPlane:
             fault=fault,
             loss_rate=loss_rate,
             port=port,
+            world_version=getattr(truth, "world_version", None),
         )
+
+    def ensure_fresh(self, truth: GroundTruth) -> None:
+        """Raise :class:`StaleWorldError` if ``truth`` mutated since build."""
+        if self.world_version is None:
+            return
+        current = getattr(truth, "world_version", None)
+        if current is not None and current != self.world_version:
+            raise StaleWorldError(
+                "scan plane frozen at world version "
+                f"{self.world_version} but the truth is now at {current}; "
+                "rebuild the plane (or restart the scan) after mutating "
+                "the world"
+            )
 
     # -- shared-memory transport -------------------------------------------
     def shared_payload(self) -> tuple[dict[str, np.ndarray], dict]:
@@ -159,6 +188,7 @@ class ScanPlane:
             "bl_lengths": [],
             "alias_lengths": [],
             "hosts": False,
+            "world_version": self.world_version,
         }
         if len(self.host_keys):
             arrays["hosts"] = self.host_keys.keys
@@ -203,6 +233,7 @@ class ScanPlane:
             fault=meta["fault"],
             loss_rate=meta["loss_rate"],
             port=meta["port"],
+            world_version=meta.get("world_version"),
         )
 
     # -- probing ------------------------------------------------------------

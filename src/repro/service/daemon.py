@@ -146,12 +146,15 @@ class CampaignService:
         resume: bool = False,
         crash: "WorkerCrash | None" = None,
         telemetry: Telemetry | None = None,
+        targets=None,
     ) -> str:
         """Queue a campaign for ``tenant``; returns its job id.
 
         The campaign scans the service's shared truth, wrapped in the
         tenant's rate-limit overlay when its policy sets one.  Nothing
-        runs until the scheduler gives the job a turn.
+        runs until the scheduler gives the job a turn.  ``targets``
+        passes an explicit target list/column pair through to the
+        campaign, bypassing generation (the delta re-probe path).
         """
         if tenant not in self.tenants:
             raise KeyError(f"unknown tenant: {tenant!r}")
@@ -175,6 +178,7 @@ class CampaignService:
             telemetry=telemetry if telemetry is not None else self.telemetry,
             checkpoint_path=checkpoint_path,
             name=name or job_id,
+            targets=targets,
         )
         job = CampaignJob(
             job_id=job_id, tenant=tenant, campaign=campaign,

@@ -35,6 +35,12 @@ from .ground_truth import (
     build_network,
     default_internet,
 )
+from .dynamics import (
+    ChurnConfig,
+    ChurnModel,
+    DynamicWorld,
+    world_at,
+)
 
 __all__ = [
     "AliasedRegion",
@@ -44,7 +50,10 @@ __all__ = [
     "AutonomousSystem",
     "BgpTable",
     "BuiltNetwork",
+    "ChurnConfig",
+    "ChurnModel",
     "DnsRecord",
+    "DynamicWorld",
     "EUI64Policy",
     "GroundTruth",
     "ICMPV6",
@@ -75,4 +84,5 @@ __all__ = [
     "make_policy",
     "seeds_of_type",
     "validate_specs",
+    "world_at",
 ]

@@ -67,6 +67,17 @@ class AliasedRegionSet:
     #: port (or ``None`` for "any port") -> frozen mask table for the
     #: array scan plane; invalidated on every mutation.
     _frozen_tables: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Monotone mutation counter (see ``GroundTruth.world_version``).
+    _version: int = field(default=0, repr=False, compare=False)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._short_cache.clear()
+        self._frozen_tables.clear()
+        self._version += 1
 
     def add(self, region: AliasedRegion) -> None:
         bucket = self._by_length[region.prefix.length]
@@ -76,8 +87,23 @@ class AliasedRegionSet:
         if region.prefix.length not in self._lengths:
             self._lengths.append(region.prefix.length)
             self._lengths.sort()
-        self._short_cache.clear()
-        self._frozen_tables.clear()
+        self._invalidate()
+
+    def remove(self, region: AliasedRegion) -> None:
+        """Delete a region (an aliased prefix going dark under churn).
+
+        Invalidates the per-/64 decision cache and the frozen mask
+        tables like :meth:`add` — the two memos that would otherwise
+        keep answering for a region that no longer exists.
+        """
+        bucket = self._by_length.get(region.prefix.length)
+        if bucket is None or region.prefix.network not in bucket:
+            raise KeyError(f"no aliased region {region.prefix}")
+        del bucket[region.prefix.network]
+        if not bucket:
+            del self._by_length[region.prefix.length]
+            self._lengths.remove(region.prefix.length)
+        self._invalidate()
 
     def add_prefix(self, prefix: Prefix, ports: Iterable[int] = (80,)) -> AliasedRegion:
         region = AliasedRegion(prefix, frozenset(ports))

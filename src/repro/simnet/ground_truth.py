@@ -99,6 +99,31 @@ class GroundTruth:
         self.aliased = aliased
         self._all_hosts: set[int] | None = None
         self._frozen_hosts: "dict[int, FrozenKeySet]" = {}
+        self._version = 0
+
+    @property
+    def world_version(self) -> tuple[int, int]:
+        """A monotone token identifying this truth's mutation state.
+
+        Bumped by every host mutation (:meth:`add_host` /
+        :meth:`remove_host` / :meth:`invalidate`) and by every aliased
+        region mutation; frozen snapshots (:class:`~repro.scanner.plane.
+        ScanPlane`) record it at build time so stale reuse after the
+        world advanced raises instead of silently probing old tables.
+        """
+        return (self._version, self.aliased.version)
+
+    def invalidate(self) -> None:
+        """Drop memoised host tables and bump the mutation token.
+
+        Call after mutating ``hosts_by_port`` in place outside
+        :meth:`add_host` / :meth:`remove_host`; the churn layer routes
+        its bulk mutations through the add/remove hooks, which call
+        this themselves.
+        """
+        self._all_hosts = None
+        self._frozen_hosts.clear()
+        self._version += 1
 
     def _ping_targets(self) -> set[int]:
         """All hosts on any port, memoised until the next mutation.
@@ -117,16 +142,14 @@ class GroundTruth:
     def add_host(self, addr: int, port: int = 80) -> None:
         """Add an active host (invalidates the merged-host cache)."""
         self._hosts_by_port.setdefault(port, set()).add(int(addr))
-        self._all_hosts = None
-        self._frozen_hosts.clear()
+        self.invalidate()
 
     def remove_host(self, addr: int, port: int = 80) -> None:
         """Retire a host from a port (invalidates the merged-host cache)."""
         hosts = self._hosts_by_port.get(port)
         if hosts is not None:
             hosts.discard(int(addr))
-        self._all_hosts = None
-        self._frozen_hosts.clear()
+        self.invalidate()
 
     def is_responsive(self, addr: int, port: int = 80, attempt: int = 0) -> bool:
         """Would one probe to ``addr``/``port`` get a response?
@@ -248,6 +271,10 @@ class SimInternet:
     truth: GroundTruth
     networks: list[BuiltNetwork]
     rng_seed: int
+    #: Per-port rates the extra services were drawn with at assembly;
+    #: retained so churn-added hosts and world-file round-trips can
+    #: reproduce the same service mix.
+    port_rates: dict[int, float] = field(default_factory=dict)
     _active_hosts_cache: set[int] | None = field(
         default=None, repr=False, compare=False
     )
@@ -279,8 +306,17 @@ class SimInternet:
         self.invalidate_caches()
 
     def invalidate_caches(self) -> None:
-        """Drop memoised host sets after an in-place mutation."""
+        """Drop memoised host sets after an in-place mutation.
+
+        Also invalidates the ground truth's memoised merged/frozen
+        host tables (and bumps its mutation token): every mutation
+        path that edits ``networks[*].active_hosts`` in place is
+        expected to have touched the truth as well, and a stale
+        frozen-host snapshot is the silent-wrong-answer failure mode
+        the churn layer must never hit.
+        """
         self._active_hosts_cache = None
+        self.truth.invalidate()
 
     def routed_prefixes(self) -> list[Prefix]:
         return [route.prefix for route in self.bgp]
@@ -385,6 +421,7 @@ def assemble_internet(
         truth=truth,
         networks=networks,
         rng_seed=rng_seed,
+        port_rates=port_rates,
     )
 
 

@@ -112,6 +112,7 @@ def save_internet(path: str | os.PathLike, internet: SimInternet) -> None:
         path,
         [network.spec for network in internet.networks],
         rng_seed=internet.rng_seed,
+        port_rates=internet.port_rates or None,
     )
 
 

@@ -428,3 +428,82 @@ class TestServiceCommand:
         kinds = {e.get("event") for e in lines}
         assert "manifest" in kinds
         assert "scan_summary" in kinds
+
+
+class TestLongitudinalScan:
+    """scan --epochs/--hitlist and the hitlist subcommand."""
+
+    @pytest.fixture()
+    def sim_seeds(self, tmp_path):
+        path = tmp_path / "sim-seeds.txt"
+        assert main(["simulate", "--scale", "0.05", "--output", str(path)]) == 0
+        return path
+
+    def test_epochs_scan_feeds_hitlist_store(self, sim_seeds, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        assert main([
+            "scan", str(sim_seeds), "--scale", "0.05",
+            "--epochs", "3", "--hitlist", str(store), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert payload["command"] == "scan"
+        assert [row["epoch"] for row in payload["epochs"]] == [0, 1, 2]
+        assert all(row["probes_sent"] > 0 for row in payload["epochs"])
+        assert payload["epochs"][-1]["store_entries"] > 0
+        assert store.exists()
+        # The snapshot was compacted next to the log.
+        assert store.with_name(store.name + ".snap.npz").exists()
+
+    def test_second_invocation_continues_the_timeline(
+        self, sim_seeds, tmp_path, capsys
+    ):
+        store = tmp_path / "store.jsonl"
+        assert main([
+            "scan", str(sim_seeds), "--scale", "0.05",
+            "--epochs", "2", "--hitlist", str(store), "--quiet",
+        ]) == 0
+        assert main([
+            "scan", str(sim_seeds), "--scale", "0.05",
+            "--epochs", "2", "--hitlist", str(store), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        # Epochs 0-1 were consumed by the first run; this one resumes.
+        assert [row["epoch"] for row in payload["epochs"]] == [2, 3]
+
+    def test_epochs_rejects_checkpointing(self, sim_seeds, tmp_path, capsys):
+        assert main([
+            "scan", str(sim_seeds), "--scale", "0.05", "--epochs", "2",
+            "--checkpoint", str(tmp_path / "ckpt.jsonl"),
+        ]) == 1
+        assert "epoch" in capsys.readouterr().err
+
+    def test_hitlist_inspect_and_export(self, sim_seeds, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        assert main([
+            "scan", str(sim_seeds), "--scale", "0.05",
+            "--epochs", "2", "--hitlist", str(store), "--quiet",
+        ]) == 0
+        exported = tmp_path / "believed.txt"
+        assert main([
+            "hitlist", str(store), "--export", str(exported), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert payload["command"] == "hitlist"
+        assert payload["entries"] > 0
+        assert payload["epoch"] == 1
+        assert payload["exported"] == len(read_hitlist_ints(exported))
+        assert payload["exported"] > 0
+
+    def test_hitlist_missing_store_fails(self, tmp_path, capsys):
+        assert main(["hitlist", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no hitlist store" in capsys.readouterr().err
+
+    def test_service_epochs(self, capsys):
+        assert main([
+            "service", "--tenants", "1", "--budget", "300",
+            "--scale", "0.05", "--epochs", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert payload["epochs"] == 2
+        assert [j["epoch"] for j in payload["jobs"]] == [0, 1]
+        assert all(j["state"] == "finished" for j in payload["jobs"])

@@ -57,6 +57,13 @@ class TestExamples:
         assert "resumed result identical to solo run: True" in out
         assert "resumed campaign bit-identical to uninterrupted: True" in out
 
+    def test_longitudinal_scan(self):
+        out = _run("longitudinal_scan.py", "0.05", "400", "2")
+        assert "delta campaigns over a churning world" in out
+        assert "full-rescan baseline" in out
+        assert "probe cost: delta" in out
+        assert "store reloaded" in out
+
     def test_all_examples_listed(self):
         scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert {
@@ -66,6 +73,7 @@ class TestExamples:
             "alias_detection.py",
             "adaptive_scan.py",
             "campaign_service.py",
+            "longitudinal_scan.py",
         } <= scripts
 
     def test_custom_world(self):

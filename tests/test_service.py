@@ -311,3 +311,96 @@ class TestProgress:
         service.run_until_idle()
         assert service.progress(job)["state"] == "finished"
         assert len(service.progress_all()) == 1
+
+
+class TestEpochBoundaries:
+    """Service jobs interacting with DynamicWorld.advance_to.
+
+    These use a private world (not the cached ``_context``): the whole
+    point is to mutate it.
+    """
+
+    def _dynamic_world(self, seed=17):
+        from repro.simnet import default_internet
+        from repro.simnet.bgp import group_by_routed_prefix
+        from repro.simnet.dns import collect_seeds
+        from repro.simnet.dynamics import DynamicWorld
+
+        world = default_internet(scale=0.05, rng_seed=seed)
+        seeds = collect_seeds(world, rng_seed=7)
+        groups = group_by_routed_prefix(seeds.addresses(), world.bgp)
+        return world, DynamicWorld(world, churn_seed=5), groups
+
+    def _spec(self):
+        return CampaignSpec(
+            budget=300,
+            scan_config=ScanConfig(use_batched=True, batch_size=64),
+        )
+
+    def test_same_epoch_pause_resume_is_bit_identical(self):
+        world, dynamic, groups = self._dynamic_world()
+        spec = self._spec()
+        solo = Campaign(world.truth, world.bgp, groups, spec).run()
+
+        service = CampaignService(world.truth, world.bgp)
+        service.register_tenant("t")
+        job_id = service.submit("t", groups, spec)
+        for _ in range(3):
+            service.step()
+        service.pause(job_id)
+        # Advancing to the *current* epoch is a no-op: nothing mutates,
+        # the version token stands, and the job resumes cleanly.
+        dynamic.advance_to(0)
+        service.resume(job_id)
+        service.run_until_idle()
+        job = service.jobs[job_id]
+        assert job.state == "finished", job.error
+        assert job.result.raw_hits == solo.raw_hits
+        assert job.result.clean_hits == solo.clean_hits
+
+    def test_resume_after_advance_fails_with_stale_world_error(self):
+        world, dynamic, groups = self._dynamic_world()
+        service = CampaignService(world.truth, world.bgp)
+        service.register_tenant("t")
+        job_id = service.submit("t", groups, self._spec())
+        # Run until the scan is armed and mid-flight, then pause.
+        while service.jobs[job_id].state != "running":
+            service.step()
+        service.step()
+        service.pause(job_id)
+        dynamic.advance_to(1)
+        service.resume(job_id)
+        service.run_until_idle()
+        job = service.jobs[job_id]
+        assert job.state == "failed"
+        assert "StaleWorldError" in job.error
+        assert "advance" in job.error  # points at the epoch move
+
+    def test_job_submitted_before_advance_but_begun_after_runs(self):
+        world, dynamic, groups = self._dynamic_world()
+        service = CampaignService(world.truth, world.bgp)
+        service.register_tenant("t")
+        job_id = service.submit("t", groups, self._spec())
+        # The queued job holds no frozen scan state yet; begin() after
+        # the epoch move plans against the new world and succeeds.
+        dynamic.advance_to(2)
+        service.run_until_idle()
+        job = service.jobs[job_id]
+        assert job.state == "finished", job.error
+        assert job.result.raw_hits
+
+    def test_failed_job_does_not_poison_the_rotation(self):
+        world, dynamic, groups = self._dynamic_world()
+        service = CampaignService(world.truth, world.bgp)
+        service.register_tenant("a")
+        service.register_tenant("b")
+        stale_id = service.submit("a", groups, self._spec())
+        while service.jobs[stale_id].state != "running":
+            service.step()
+        service.step()
+        dynamic.advance_to(1)  # strands tenant a's in-flight scan
+        fresh_id = service.submit("b", groups, self._spec())
+        service.run_until_idle()
+        assert service.jobs[stale_id].state == "failed"
+        assert "StaleWorldError" in service.jobs[stale_id].error
+        assert service.jobs[fresh_id].state == "finished"
