@@ -1,0 +1,159 @@
+"""Predictive-allocation gate: probes-vs-coverage against classic 6Gen.
+
+Runs the classic pipeline (static per-prefix budget split, one
+generate→scan pass) and the predictive phased campaign
+(:class:`~repro.predictive.allocate.PredictiveAllocator`: uniform
+pilot, then re-split the remaining budget across prefixes by modelled
+hit rate) over the same simulated Internet at a sweep of equal total
+budgets, and emits the probes-vs-coverage curve.
+
+Two gates (exit 1 on failure):
+
+1. **equal-budget coverage** — at the full budget point, predictive
+   dealiased coverage must be >= classic coverage;
+2. **coverage held at reduced budget** — predictive at the reduced
+   budget point (default 75%) must still reach classic's full-budget
+   coverage: the re-allocation loop is only worth shipping if it buys
+   the same coverage for less probing.
+
+Standalone script, not a pytest benchmark — CI runs it with ``--quick``:
+
+    python benchmarks/bench_predictive.py [--quick] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.extensions import (  # noqa: E402
+    format_predictive,
+    predictive_allocation_experiment,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller world and budget sweep (the CI gate configuration)",
+    )
+    parser.add_argument(
+        "--phases", type=int, default=3,
+        help="plan->scan phases for the predictive campaign (default: 3)",
+    )
+    parser.add_argument(
+        "--reduced-fraction", type=float, default=0.75, metavar="FRAC",
+        help="budget fraction at which predictive must still hold "
+             "classic's full-budget coverage (default: 0.75)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here (default: benchmarks/results/)",
+    )
+    args = parser.parse_args()
+
+    scale = 0.05 if args.quick else 0.1
+    budget = 600 if args.quick else 400
+    fractions = (
+        (args.reduced_fraction, 1.0)
+        if args.quick
+        else (0.25, 0.5, args.reduced_fraction, 1.0)
+    )
+    print(f"world scale={scale}, budget={budget}/prefix, "
+          f"fractions={fractions}, {args.phases} phases")
+
+    started = time.perf_counter()
+    rows = predictive_allocation_experiment(
+        budget_per_prefix=budget,
+        scale=scale,
+        phases=args.phases,
+        fractions=fractions,
+    )
+    seconds = time.perf_counter() - started
+    print()
+    print(format_predictive(rows))
+    print(f"\nwall-clock: {seconds:.1f}s")
+
+    def point(policy: str, fraction: float):
+        return next(
+            r for r in rows
+            if r.policy == policy and r.budget_fraction == fraction
+        )
+
+    classic_full = point("classic", 1.0)
+    predictive_full = point("predictive", 1.0)
+    predictive_reduced = point("predictive", args.reduced_fraction)
+
+    failures = []
+    if predictive_full.coverage < classic_full.coverage:
+        failures.append(
+            f"predictive coverage {predictive_full.coverage:.4f} trails "
+            f"classic {classic_full.coverage:.4f} at equal budget"
+        )
+    if predictive_reduced.coverage < classic_full.coverage:
+        failures.append(
+            f"predictive at {args.reduced_fraction:.0%} budget reaches "
+            f"{predictive_reduced.coverage:.4f}, below classic's "
+            f"full-budget {classic_full.coverage:.4f}"
+        )
+
+    report = {
+        "benchmark": "predictive_allocation",
+        "quick": args.quick,
+        "scale": scale,
+        "budget_per_prefix": budget,
+        "phases": args.phases,
+        "fractions": list(fractions),
+        "curve": [
+            {
+                "policy": r.policy,
+                "budget_fraction": r.budget_fraction,
+                "total_budget": r.total_budget,
+                "probes_sent": r.probes_sent,
+                "raw_hits": r.raw_hits,
+                "dealiased_hits": r.dealiased_hits,
+                "coverage": round(r.coverage, 4),
+            }
+            for r in rows
+        ],
+        "equal_budget": {
+            "classic_coverage": round(classic_full.coverage, 4),
+            "predictive_coverage": round(predictive_full.coverage, 4),
+            "classic_probes": classic_full.probes_sent,
+            "predictive_probes": predictive_full.probes_sent,
+        },
+        "reduced_budget": {
+            "fraction": args.reduced_fraction,
+            "predictive_coverage": round(predictive_reduced.coverage, 4),
+            "holds_classic_full_coverage": (
+                predictive_reduced.coverage >= classic_full.coverage
+            ),
+        },
+        "seconds": round(seconds, 2),
+        "failures": failures,
+    }
+    out = pathlib.Path(
+        args.out
+        or REPO_ROOT / "benchmarks" / "results" / "BENCH_predictive.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report -> {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        return 1
+    print("gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

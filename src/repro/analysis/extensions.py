@@ -418,3 +418,91 @@ def format_adaptive_comparison(rows: Sequence[AdaptiveComparisonRow]) -> str:
             f"{row.aliased_responses:>14} {row.efficiency:>11.4f}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Predictive (phased, budget-aware) vs classic allocation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PredictiveRow:
+    """One (policy, budget-fraction) point on the probes-vs-coverage curve."""
+
+    policy: str
+    budget_fraction: float
+    total_budget: int
+    probes_sent: int
+    raw_hits: int
+    dealiased_hits: int
+    coverage: float
+
+
+def predictive_allocation_experiment(
+    budget_per_prefix: int = DEFAULT_BUDGET // 4,
+    scale: float = DEFAULT_SCALE,
+    phases: int = 3,
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    port: int = 80,
+) -> list[PredictiveRow]:
+    """Classic static split vs predictive re-allocation, per budget point.
+
+    At every budget fraction both pipelines get the same total budget;
+    the predictive one runs the phased campaign loop (uniform pilot,
+    then re-split by modelled hit rate).  Coverage is dealiased hits
+    over the world's responsive hosts — the §8 question is how much
+    coverage a budget buys, and how much budget a coverage level needs.
+    """
+    from ..campaign import Campaign, CampaignSpec
+    from ..predictive import PredictiveAllocator, policy_labels
+
+    context = standard_context(scale)
+    internet = context.internet
+    hosts = internet.truth.host_count(port)
+    labels = policy_labels(internet)
+    rows = []
+    for fraction in fractions:
+        budget = max(1, int(budget_per_prefix * fraction))
+        for policy_name, allocation in (
+            ("classic", None),
+            (
+                "predictive",
+                PredictiveAllocator(phases=phases, policy_labels=labels),
+            ),
+        ):
+            spec = CampaignSpec(budget=budget, port=port)
+            campaign = Campaign(
+                internet.truth, internet.bgp, context.groups, spec,
+                allocation=allocation,
+            )
+            result = campaign.run()
+            prefixes = len(campaign.progress) if allocation else len(
+                context.groups
+            )
+            rows.append(
+                PredictiveRow(
+                    policy=policy_name,
+                    budget_fraction=fraction,
+                    total_budget=budget * prefixes,
+                    probes_sent=result.probes_sent,
+                    raw_hits=len(result.raw_hits),
+                    dealiased_hits=len(result.clean_hits),
+                    coverage=len(result.clean_hits) / hosts if hosts else 0.0,
+                )
+            )
+    return rows
+
+
+def format_predictive(rows: Sequence[PredictiveRow]) -> str:
+    lines = ["§8 predictive allocation: probes vs coverage (equal budgets)"]
+    lines.append(
+        f"{'policy':<11} {'fraction':>8} {'budget':>8} {'probes':>8} "
+        f"{'dealiased':>10} {'coverage':>9}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row.policy:<11} {row.budget_fraction:>8.2f} "
+            f"{row.total_budget:>8} {row.probes_sent:>8} "
+            f"{row.dealiased_hits:>10} {row.coverage:>9.2%}"
+        )
+    return "\n".join(lines)

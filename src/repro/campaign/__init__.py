@@ -10,12 +10,15 @@ wrappers over this layer; the multi-tenant scheduler
 (:mod:`repro.service`) drives the same stages batch-by-batch.
 """
 
+from .allocation import AllocationPolicy, PrefixProgress
 from .generate import generate_per_prefix
 from .pipeline import Campaign, CampaignResult, CampaignSpec
 
 __all__ = [
+    "AllocationPolicy",
     "Campaign",
     "CampaignResult",
     "CampaignSpec",
+    "PrefixProgress",
     "generate_per_prefix",
 ]

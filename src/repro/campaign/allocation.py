@@ -1,0 +1,72 @@
+"""The campaign's mid-flight budget-allocation hook.
+
+The paper leaves cross-network budget allocation open ("we do not
+address how to best allocate probe budget across networks") and §8
+argues for feeding scan results back into the generator.  This module
+defines the seam the campaign pipeline exposes for that feedback: an
+:class:`AllocationPolicy` splits the remaining campaign budget across
+routed prefixes at each phase boundary, looking at live per-prefix
+progress (:class:`PrefixProgress`).
+
+The types live here — in :mod:`repro.campaign`, not
+:mod:`repro.predictive` — so the pipeline depends only on the
+protocol; the predictive allocator (and any future learned policy)
+imports these and plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ipv6.prefix import Prefix
+    from ..predictive.features import PrefixFeatures
+
+
+@dataclass
+class PrefixProgress:
+    """Live per-prefix state an allocation policy plans from.
+
+    ``allocated`` is the cumulative probe budget granted across all
+    completed phases; ``probes``/``hits`` are what the scans actually
+    spent and found inside this prefix so far.  ``features`` carries
+    the static seed-set description (see
+    :class:`repro.predictive.features.PrefixFeatures`) when the
+    campaign computed one.
+    """
+
+    prefix: "Prefix"
+    seeds: int
+    probes: int = 0
+    hits: int = 0
+    allocated: int = 0
+    features: "PrefixFeatures | None" = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+@runtime_checkable
+class AllocationPolicy(Protocol):
+    """Splits the remaining campaign budget across prefixes per phase.
+
+    ``phases`` is the number of plan→generate→scan phases the campaign
+    runs.  ``plan`` is called once per phase with the phase index, the
+    campaign budget still unspent, and the per-prefix progress; it
+    returns the probe budget each prefix gets *this phase* (prefixes
+    may be omitted or given 0).  The campaign requires plans to be a
+    deterministic function of their arguments — that is what keeps
+    phased campaigns bit-identical at any worker count and across
+    checkpoint/resume (plans are replayed and verified on resume).
+    """
+
+    phases: int
+
+    def plan(
+        self,
+        phase: int,
+        remaining: int,
+        progress: "Mapping[Prefix, PrefixProgress]",
+    ) -> "Mapping[Prefix, int]": ...

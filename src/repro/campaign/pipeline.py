@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..scanner.dealias import DealiasReport, dealias
 from ..scanner.engine import ScanConfig, Scanner
-from ..scanner.probe import ScanResult
+from ..scanner.probe import ScanResult, ScanStats
 from ..telemetry.spans import Telemetry, ensure
 from .generate import generate_per_prefix
 
@@ -40,6 +40,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.models import WorkerCrash
     from ..ipv6.prefix import Prefix
     from ..scanner.execution import ScanExecution
+    from ..scanner.schedule import TenantBudget
+    from .allocation import AllocationPolicy, PrefixProgress
+
+#: In-loop §6.2 alias testing (phased path): only prefixes that
+#: collected at least this many hits in one phase are worth a
+#: random-probe test — a real (non-aliased) /64 or /96 almost never
+#: concentrates random-pick-answering hits, an aliased one always does.
+ALIAS_TEST_MIN_HITS = 3
+#: Hard per-phase, per-length cap on alias tests (most-hit prefixes
+#: first), bounding the charged detection cost at ~9 probes per test.
+ALIAS_TEST_MAX_TESTS = 64
+#: Coarse-to-fine test granularities: a whole aliased /64 spreads its
+#: hits one-per-/96, so the /64 pass must run first; the /96 pass then
+#: catches finer regions among the survivors.
+ALIAS_TEST_LENGTHS = (64, 96)
 
 
 @dataclass(frozen=True)
@@ -119,6 +134,17 @@ class Campaign:
     (:mod:`repro.hitlist`) uses this to re-probe known hits; the
     result's ``run`` output is then ``None``.  ``spec.budget`` is not
     applied to explicit targets — the planner already budgeted them.
+
+    ``allocation`` plugs in an :class:`~repro.campaign.allocation.
+    AllocationPolicy`: the campaign then runs *phased* — the total
+    budget (``spec.budget`` × prefix count) is re-split across
+    prefixes at every phase boundary from live per-prefix feedback,
+    each phase generating and scanning only its slice's fresh targets.
+    With ``allocation=None`` (the default) nothing changes: the
+    single-phase paths below are byte-for-byte the pre-hook behaviour.
+    ``budget_ledger`` optionally bounds phase planning by a shared
+    :class:`~repro.scanner.schedule.TenantBudget` (the service passes
+    its tenant's ledger, so re-splits never plan past the tenant cap).
     """
 
     def __init__(
@@ -132,7 +158,14 @@ class Campaign:
         checkpoint_path: str | None = None,
         name: str = "campaign",
         targets=None,
+        allocation: "AllocationPolicy | None" = None,
+        budget_ledger: "TenantBudget | None" = None,
     ):
+        if allocation is not None and targets is not None:
+            raise ValueError(
+                "allocation re-plans generation per phase; it cannot be "
+                "combined with an explicit target list"
+            )
         self.truth = truth
         self.bgp = bgp
         self.groups = groups
@@ -142,6 +175,8 @@ class Campaign:
         self.telemetry = telemetry
         self._tele = ensure(telemetry)
         self.checkpoint_path = checkpoint_path
+        self.allocation = allocation
+        self.budget_ledger = budget_ledger
         self.state = "created"
         self.run_output: "MultiPrefixRun | None" = None
         self.execution: "ScanExecution | None" = None
@@ -149,6 +184,40 @@ class Campaign:
         self._scanner: Scanner | None = None
         self._ckpt_sink = None
         self._span = None
+        # Phased-path state (untouched when allocation is None).
+        self.progress: "dict[Prefix, PrefixProgress]" = {}
+        self._phase = -1
+        self._total_budget = 0
+        self._completed_stats: ScanStats | None = None
+        self._all_hits: set[int] = set()
+        self._probed_keys = None
+        self._gen_quota: dict = {}
+        self._phase_keys: dict = {}
+        self._phase_alloc: dict = {}
+        self._phase_remaining = 0
+        self._checkpointer = None
+        self._drained = False
+        self.alias_probes = 0
+        self.aliased_hits: set[int] = set()
+        self._alias_verdicts: dict = {}
+
+    @property
+    def probes_sent(self) -> int:
+        """Probes charged so far, across all phases.
+
+        The quantity schedulers charge tenant budgets with: completed
+        phases' folded stats (scan probes plus in-loop alias-test
+        probes) and the live execution's counter.  For single-phase
+        campaigns this is exactly the execution's counter.
+        """
+        sent = (
+            self._completed_stats.probes_sent
+            if self._completed_stats is not None
+            else 0
+        )
+        if self.execution is not None:
+            sent += self.execution.stats.probes_sent
+        return sent
 
     # -- the monolithic path -------------------------------------------
 
@@ -158,8 +227,14 @@ class Campaign:
         This is the pre-refactor ``run_full_scan`` body verbatim —
         ``Scanner.scan`` keeps its pool paths for round 0 at
         ``workers > 1`` — so hits and stats are bit-identical to the
-        old monolithic pipeline.
+        old monolithic pipeline.  Phased campaigns (``allocation``
+        set) run the stepwise path to completion instead.
         """
+        if self.allocation is not None:
+            self.begin(resume=resume, crash=crash)
+            while self.step():
+                pass
+            return self.finish()
         spec = self.spec
         ckpt_sink, checkpointer, resume_state = self._open_checkpoint(resume)
         try:
@@ -207,6 +282,14 @@ class Campaign:
         """
         if self.state != "created":
             raise RuntimeError(f"cannot begin a campaign in state {self.state!r}")
+        if self.allocation is not None:
+            if crash is not None:
+                raise ValueError(
+                    "crash injection targets the single-scan paths; phased "
+                    "campaigns exercise faults through the scanner config"
+                )
+            self._begin_phased(resume)
+            return
         spec = self.spec
         self._ckpt_sink, checkpointer, resume_state = self._open_checkpoint(
             resume
@@ -238,16 +321,33 @@ class Campaign:
         self.state = "running"
 
     def step(self) -> bool:
-        """Probe one batch; False once the scan has finished."""
+        """Probe one batch; False once the scan (all phases) has finished."""
         if self.state != "running":
             raise RuntimeError(f"cannot step a campaign in state {self.state!r}")
-        return self.execution.step()
+        if self.allocation is None:
+            return self.execution.step()
+        if self._drained:
+            return False
+        if self.execution is not None and self.execution.step():
+            return True
+        self._complete_phase()
+        if self._advance_phase():
+            return True
+        self._drained = True
+        return False
 
     def finish(self) -> CampaignResult:
         """Dealias the finished scan and seal the campaign."""
         if self.state != "running":
             raise RuntimeError(f"cannot finish a campaign in state {self.state!r}")
-        scan = self.execution.result()
+        if self.allocation is not None:
+            scan = ScanResult(
+                port=self.spec.port,
+                hits=set(self._all_hits),
+                stats=self._completed_stats.copy(),
+            )
+        else:
+            scan = self.execution.result()
         report = self._dealias(self._scanner, scan.hits)
         self._close()
         self.state = "finished"
@@ -267,8 +367,16 @@ class Campaign:
             raise RuntimeError(
                 f"cannot interrupt a campaign in state {self.state!r}"
             )
-        stats = self.execution.stats.copy()
-        hits = set(self.execution.hits)
+        if self.allocation is not None:
+            stats = self._completed_stats.copy()
+            hits = set(self._all_hits)
+            if self.execution is not None:
+                live = self.execution.stats.copy()
+                stats.merge(live)
+                hits |= set(self.execution.hits)
+        else:
+            stats = self.execution.stats.copy()
+            hits = set(self.execution.hits)
         scan = ScanResult(port=self.spec.port, hits=hits, stats=stats)
         report = DealiasReport(clean_hits=set(hits))
         self._close()
@@ -282,6 +390,475 @@ class Campaign:
         """Release resources after a failure; the campaign has no result."""
         self._close()
         self.state = "failed"
+
+    # -- the phased path (AllocationPolicy-driven) ----------------------
+
+    def _begin_phased(self, resume: bool) -> None:
+        """Arm the phase loop: features, budgets, phase-0 plan (or replay)."""
+        import numpy as np
+
+        from ..predictive.features import extract_features
+        from .allocation import PrefixProgress
+
+        spec = self.spec
+        self._ckpt_sink, self._checkpointer, _ = self._open_checkpoint(False)
+        self._span = self._tele.span(
+            "full_scan", budget=spec.budget, port=spec.port
+        )
+        self._span.__enter__()
+        try:
+            self.progress = {}
+            for prefix in sorted(self.groups):
+                seeds = [int(s) for s in self.groups[prefix]]
+                if not seeds:
+                    continue
+                self.progress[prefix] = PrefixProgress(
+                    prefix=prefix,
+                    seeds=len(seeds),
+                    features=extract_features(seeds),
+                )
+            self._total_budget = spec.budget * len(self.progress)
+            self._completed_stats = ScanStats()
+            self._all_hits = set()
+            self._probed_keys = np.empty(0, dtype="S16")
+            self._gen_quota = {}
+            self.alias_probes = 0
+            self.aliased_hits = set()
+            self._alias_verdicts = {}
+            self._scanner = Scanner(
+                self.truth, config=spec.scan_config, telemetry=self.telemetry
+            )
+            if resume:
+                self._resume_phased()
+            else:
+                self._phase = 0
+                plan = dict(
+                    self.allocation.plan(0, self._total_budget, self.progress)
+                )
+                if not self._start_phase(plan, self._total_budget):
+                    if not self._advance_phase():
+                        self._drained = True
+        except BaseException:
+            self.abort()
+            raise
+        self.state = "running"
+
+    def _remaining_budget(self) -> int:
+        """Campaign budget still unspent, bounded by the tenant ledger."""
+        remaining = self._total_budget - self._completed_stats.probes_sent
+        if self.budget_ledger is not None:
+            remaining = min(remaining, self.budget_ledger.remaining())
+        return max(remaining, 0)
+
+    def _advance_phase(self) -> bool:
+        """Plan phases until one starts scanning; False when drained."""
+        while self._phase + 1 < self.allocation.phases:
+            self._phase += 1
+            remaining = self._remaining_budget()
+            if remaining <= 0:
+                return False
+            plan = dict(
+                self.allocation.plan(self._phase, remaining, self.progress)
+            )
+            if self._start_phase(plan, remaining):
+                return True
+        return False
+
+    def _materialise_phase(self, allocations: dict) -> dict:
+        """Generate one phase's fresh targets: prefix -> (hi, lo) columns.
+
+        Each prefix's 6Gen runs at its *cumulative* quota (6Gen target
+        sets are budget-dependent, not nested, so the phase regenerates
+        and filters rather than assuming extension), already-probed
+        addresses and addresses inside /96s the in-loop §6.2 tests
+        flagged as aliased are dropped via fused-key ledgers, and the
+        survivors are capped at this phase's allocation in
+        densest-cluster-first order.
+        """
+        import numpy as np
+
+        from ..ipv6.addrplane import dedupe_columns, fuse
+
+        flagged64 = sorted(
+            prefix.network >> 64
+            for prefix, bad in self._alias_verdicts.items()
+            if bad and prefix.length == 64
+        )
+        flagged64 = (
+            np.array(flagged64, dtype=np.uint64) if flagged64 else None
+        )
+        flagged96 = sorted(
+            prefix.network
+            for prefix, bad in self._alias_verdicts.items()
+            if bad and prefix.length == 96
+        )
+        flagged96 = (
+            np.sort(
+                fuse(
+                    np.array([n >> 64 for n in flagged96], dtype=np.uint64),
+                    np.array(
+                        [(n >> 32) & 0xFFFFFFFF for n in flagged96],
+                        dtype=np.uint64,
+                    ),
+                )
+            )
+            if flagged96
+            else None
+        )
+
+        spec = self.spec
+        for prefix in sorted(allocations):
+            self._gen_quota[prefix] = (
+                self._gen_quota.get(prefix, 0) + allocations[prefix]
+            )
+        active = {
+            prefix: self.groups[prefix]
+            for prefix in sorted(allocations)
+            if allocations[prefix] > 0 and prefix in self.groups
+        }
+        if not active:
+            return {}
+        quota = dict(self._gen_quota)
+        self.run_output = generate_per_prefix(
+            active,
+            0,
+            loose=spec.loose,
+            budget_policy=lambda prefix, seeds, base: quota[prefix],
+            telemetry=self.telemetry,
+            progress_sink=self._ckpt_sink,
+            processes=spec.gen_workers,
+        )
+        phase_cols: dict = {}
+        for prefix in sorted(self.run_output.runs):
+            hi, lo = dedupe_columns(*self.run_output.runs[prefix].target_columns())
+            if not len(hi):
+                continue
+            keys = fuse(hi, lo)
+            if len(self._probed_keys):
+                pos = np.searchsorted(self._probed_keys, keys)
+                pos[pos == len(self._probed_keys)] = 0
+                fresh = self._probed_keys[pos] != keys
+            else:
+                fresh = np.ones(len(keys), dtype=bool)
+            if flagged64 is not None:
+                pos = np.searchsorted(flagged64, hi)
+                pos[pos == len(flagged64)] = 0
+                fresh &= flagged64[pos] != hi
+            if flagged96 is not None:
+                key96 = fuse(hi, lo >> np.uint64(32))
+                pos = np.searchsorted(flagged96, key96)
+                pos[pos == len(flagged96)] = 0
+                fresh &= flagged96[pos] != key96
+            take = np.flatnonzero(fresh)[: allocations[prefix]]
+            if len(take):
+                phase_cols[prefix] = (hi[take], lo[take])
+        return phase_cols
+
+    def _start_phase(
+        self, allocations: dict, remaining: int, resume_scan=None
+    ) -> bool:
+        """Materialise and start scanning one phase.
+
+        Returns False — after recording an unscanned phase event — when
+        generation had nothing fresh to offer (the phase loop then
+        moves on rather than burning a scan on zero targets).
+        """
+        import numpy as np
+
+        from ..ipv6.addrplane import concat_columns, fuse
+
+        phase_cols = self._materialise_phase(allocations)
+        self._phase_alloc = dict(allocations)
+        self._phase_keys = {
+            prefix: np.sort(fuse(*cols))
+            for prefix, cols in phase_cols.items()
+        }
+        self._phase_remaining = remaining
+        if not phase_cols:
+            self._record_phase_event(
+                scanned=False, stats=ScanStats(), hits=set(), observations={}
+            )
+            return False
+        targets = concat_columns(
+            [phase_cols[prefix] for prefix in sorted(phase_cols)]
+        )
+        self.execution = self._scanner.start_execution(
+            targets,
+            self.spec.port,
+            checkpoint=self._checkpointer,
+            resume=resume_scan,
+        )
+        self._tele.count("campaign.phases")
+        return True
+
+    def _complete_phase(self) -> None:
+        """Fold the finished phase's scan into campaign state + progress.
+
+        Before the outcome reaches the allocation policy it is
+        alias-discounted: the /96s concentrating this phase's hits get
+        the §6.2 random-probe test (charged against the budget), and
+        hits inside flagged /96s are excluded from the per-prefix
+        observations — a raw hit rate inflated by one magic /96 must
+        not attract the next phase's budget.  Raw hits still flow into
+        the campaign result; final dealiasing stays where it was.
+        """
+        import numpy as np
+
+        from ..ipv6.addrplane import fuse_ints
+        from ..scanner.dealias import split_hits
+
+        if self.execution is None:
+            return
+        scan = self.execution.result()
+        self.execution = None
+        verdicts, alias_cost = self._test_phase_aliases(scan.hits)
+        self._alias_verdicts.update(verdicts)
+        self.alias_probes += alias_cost
+        phase_stats = scan.stats.copy()
+        phase_stats.probes_sent += alias_cost
+        flagged = {p for p, bad in self._alias_verdicts.items() if bad}
+        if flagged:
+            aliased_hits, clean = split_hits(scan.hits, flagged)
+        else:
+            aliased_hits, clean = set(), set(scan.hits)
+        self.aliased_hits |= aliased_hits
+        self._completed_stats.merge(phase_stats)
+        self._all_hits |= scan.hits
+        hit_keys = np.sort(fuse_ints(sorted(clean)))
+        observations: dict[str, list[int]] = {}
+        for prefix in sorted(self._phase_keys):
+            keys = self._phase_keys[prefix]
+            hits = 0
+            if len(keys) and len(hit_keys):
+                pos = np.searchsorted(keys, hit_keys)
+                pos[pos == len(keys)] = 0
+                hits = int((keys[pos] == hit_keys).sum())
+            state = self.progress[prefix]
+            state.probes += len(keys)
+            state.hits += hits
+            state.allocated += self._phase_alloc.get(prefix, 0)
+            observations[str(prefix)] = [len(keys), hits]
+        self._fold_probed_keys()
+        self._record_phase_event(
+            scanned=True,
+            stats=phase_stats,
+            hits=scan.hits,
+            observations=observations,
+            alias_tests=verdicts,
+            alias_probes=alias_cost,
+        )
+
+    def _test_phase_aliases(self, hits: set) -> "tuple[dict, int]":
+        """§6.2 random-probe tests on the prefixes concentrating ``hits``.
+
+        Runs coarse-to-fine over ``ALIAS_TEST_LENGTHS``: untested
+        prefixes holding >= ``ALIAS_TEST_MIN_HITS`` hits are probed
+        (most-hit first, capped at ``ALIAS_TEST_MAX_TESTS`` per
+        length), hits inside flagged prefixes are dropped before the
+        next, finer pass, and verdicts are cached for the campaign's
+        lifetime.  Returns the new verdicts and the probe cost, which
+        the caller charges.
+        """
+        from ..scanner.dealias import (
+            detect_aliased_prefixes,
+            group_hits_by_prefix,
+            split_hits,
+        )
+
+        verdicts: dict = {}
+        cost = 0
+        remaining = set(hits)
+        for length in ALIAS_TEST_LENGTHS:
+            flagged = {
+                prefix
+                for prefix, bad in {**self._alias_verdicts, **verdicts}.items()
+                if bad
+            }
+            if flagged and remaining:
+                _, remaining = split_hits(remaining, flagged)
+            if not remaining:
+                break
+            groups = group_hits_by_prefix(remaining, length)
+            candidates = sorted(
+                (
+                    prefix
+                    for prefix, addrs in groups.items()
+                    if len(addrs) >= ALIAS_TEST_MIN_HITS
+                    and prefix not in self._alias_verdicts
+                ),
+                key=lambda p: (-len(groups[p]), str(p)),
+            )[:ALIAS_TEST_MAX_TESTS]
+            if not candidates:
+                continue
+            subset = [
+                addr for prefix in candidates for addr in groups[prefix]
+            ]
+            before = self._scanner.total_probes
+            aliased = detect_aliased_prefixes(
+                subset,
+                self._scanner,
+                length=length,
+                port=self.spec.port,
+                rng_seed=0,
+                telemetry=self.telemetry,
+            )
+            cost += self._scanner.total_probes - before
+            verdicts.update(
+                {prefix: prefix in aliased for prefix in candidates}
+            )
+        return verdicts, cost
+
+    def _fold_probed_keys(self) -> None:
+        import numpy as np
+
+        if self._phase_keys:
+            self._probed_keys = np.union1d(
+                self._probed_keys,
+                np.concatenate(list(self._phase_keys.values())),
+            )
+
+    def _record_phase_event(
+        self,
+        *,
+        scanned: bool,
+        stats: ScanStats,
+        hits: set,
+        observations: dict,
+        alias_tests: dict | None = None,
+        alias_probes: int = 0,
+    ) -> None:
+        if self._ckpt_sink is not None:
+            self._ckpt_sink.emit(
+                {
+                    "event": "campaign_phase",
+                    "phase": self._phase,
+                    "remaining": self._phase_remaining,
+                    "scanned": scanned,
+                    "allocations": {
+                        str(prefix): int(alloc)
+                        for prefix, alloc in sorted(
+                            self._phase_alloc.items(), key=lambda kv: str(kv[0])
+                        )
+                    },
+                    "observations": observations,
+                    "stats": stats.as_dict(),
+                    "hits_new": sorted(hits),
+                    "alias_tests": {
+                        str(prefix): bool(bad)
+                        for prefix, bad in sorted(
+                            (alias_tests or {}).items(),
+                            key=lambda kv: str(kv[0]),
+                        )
+                    },
+                    "alias_probes": int(alias_probes),
+                }
+            )
+
+    def _resume_phased(self) -> None:
+        """Rebuild phase state from the checkpoint file and rejoin the loop.
+
+        Completed phases are *replayed*, not re-scanned: each recorded
+        plan is re-derived through the allocation policy (rebuilding
+        the policy's model state observation-for-observation) and
+        verified against the recorded split, the phase's targets are
+        regenerated to rebuild the probed-address ledger, and the
+        recorded outcome is folded in.  An in-flight phase resumes its
+        scan through the ordinary scan-checkpoint machinery; completed
+        scans' key pairs are burned so later phases draw the keys an
+        uninterrupted run would.
+        """
+        import os
+
+        from ..ipv6.prefix import Prefix
+        from ..scanner.checkpoint import load_scan_checkpoint
+        from ..scanner.dealias import split_hits
+        from ..telemetry.sinks import read_jsonl
+
+        if self.checkpoint_path is None:
+            raise ValueError("resume=True requires checkpoint_path")
+        events = (
+            read_jsonl(self.checkpoint_path)
+            if os.path.exists(self.checkpoint_path)
+            else []
+        )
+        phase_events = [
+            e for e in events if e.get("event") == "campaign_phase"
+        ]
+        scan_sections = sum(
+            1 for e in events if e.get("event") == "scan_begin"
+        )
+        by_str = {str(prefix): prefix for prefix in self.progress}
+        self._phase = -1
+        scanned_phases = 0
+        for event in phase_events:
+            self._phase = int(event["phase"])
+            self._phase_remaining = int(event["remaining"])
+            plan = dict(
+                self.allocation.plan(
+                    self._phase, self._phase_remaining, self.progress
+                )
+            )
+            recorded = {
+                by_str[key]: int(value)
+                for key, value in event["allocations"].items()
+            }
+            if {str(k): v for k, v in plan.items() if v} != {
+                str(k): v for k, v in recorded.items() if v
+            }:
+                raise ValueError(
+                    f"checkpoint does not match this campaign: phase "
+                    f"{self._phase} re-plans differently (policy or world "
+                    "changed since the checkpoint was written)"
+                )
+            phase_cols = self._materialise_phase(recorded)
+            import numpy as np
+
+            from ..ipv6.addrplane import fuse
+
+            self._phase_alloc = recorded
+            self._phase_keys = {
+                prefix: np.sort(fuse(*cols))
+                for prefix, cols in phase_cols.items()
+            }
+            stats = ScanStats.from_dict(event["stats"])
+            hits = {int(h) for h in event["hits_new"]}
+            self._completed_stats.merge(stats)
+            self._all_hits |= hits
+            self.alias_probes += int(event.get("alias_probes", 0))
+            for key, bad in event.get("alias_tests", {}).items():
+                self._alias_verdicts[Prefix.parse(key)] = bool(bad)
+            flagged = {p for p, bad in self._alias_verdicts.items() if bad}
+            if flagged and hits:
+                aliased_hits, _ = split_hits(hits, flagged)
+                self.aliased_hits |= aliased_hits
+            for key, (probes, hits_count) in event["observations"].items():
+                state = self.progress[by_str[key]]
+                state.probes += int(probes)
+                state.hits += int(hits_count)
+                state.allocated += recorded.get(by_str[key], 0)
+            self._fold_probed_keys()
+            if event.get("scanned", True):
+                scanned_phases += 1
+        self._scanner.skip_scan_keys(scanned_phases)
+        if scan_sections > scanned_phases:
+            # The last scan section belongs to a phase whose event was
+            # never written: re-plan it and resume its scan (a section
+            # that already recorded scan_complete folds immediately).
+            self._phase += 1
+            remaining = self._remaining_budget()
+            plan = dict(
+                self.allocation.plan(self._phase, remaining, self.progress)
+            )
+            if not self._start_phase(
+                plan, remaining,
+                resume_scan=load_scan_checkpoint(self.checkpoint_path),
+            ):
+                raise ValueError(
+                    "checkpoint does not match this campaign: the in-flight "
+                    "phase regenerates no targets"
+                )
+        elif not self._advance_phase():
+            self._drained = True
 
     # -- shared internals ----------------------------------------------
 

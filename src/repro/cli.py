@@ -204,6 +204,11 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             "churn_seed": args.churn_seed,
         },
     )
+    if args.predictive:
+        try:
+            return _scan_predictive(args, out, targets, internet, telemetry)
+        finally:
+            _close_telemetry(telemetry)
     if args.epochs > 1 or args.hitlist:
         try:
             return _scan_epochs(args, out, targets, internet, telemetry)
@@ -269,6 +274,81 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             "hits": result.hit_count(),
             "hit_rate": round(result.stats.hit_rate, 6),
             "checkpoint": str(ckpt_path) if ckpt_path else None,
+            "output": str(args.output) if args.output else None,
+        },
+    )
+    return 0
+
+
+def _scan_predictive(args, out, seeds, internet, telemetry) -> int:
+    """The ``scan --predictive`` path: phased, budget-aware probing.
+
+    The input hitlist acts as *seeds*, not literal targets: they are
+    grouped by routed prefix, featurised, and a
+    :class:`~repro.predictive.allocate.PredictiveAllocator` re-splits
+    the total budget (``--budget`` × prefix count) across prefixes at
+    every phase boundary from live hit-rate feedback.
+    """
+    from .campaign import Campaign, CampaignSpec
+    from .predictive import PredictiveAllocator, policy_labels
+    from .simnet.bgp import group_by_routed_prefix
+
+    if args.epochs > 1 or args.hitlist:
+        out.error("--predictive cannot be combined with --epochs/--hitlist")
+        return 1
+    groups = group_by_routed_prefix(seeds, internet.bgp)
+    if not groups:
+        out.error("no seeds fall inside routed space")
+        return 1
+    spec = CampaignSpec(
+        budget=args.budget,
+        port=args.port,
+        scan_config=ScanConfig(retries=args.retries, workers=args.workers),
+        checkpoint_every=args.checkpoint_every,
+    )
+    allocator = PredictiveAllocator(
+        phases=args.phases,
+        pilot_fraction=args.pilot_frac,
+        policy_labels=policy_labels(internet),
+    )
+    campaign = Campaign(
+        internet.truth, internet.bgp, groups, spec,
+        telemetry=telemetry,
+        checkpoint_path=args.resume or args.checkpoint,
+        allocation=allocator,
+    )
+    result = campaign.run(resume=bool(args.resume))
+    out.say(f"seeds: {len(seeds)} across {len(groups)} routed prefixes")
+    out.say(f"budget: {spec.budget}/prefix "
+            f"({spec.budget * len(campaign.progress)} total), "
+            f"{args.phases} phases (pilot {args.pilot_frac:.0%})")
+    out.say(f"probes sent: {result.probes_sent}")
+    out.say(f"hits: {len(result.raw_hits)} raw, "
+            f"{len(result.clean_hits)} dealiased")
+    if args.output:
+        write_hitlist(
+            args.output, sorted(result.clean_hits),
+            header=f"TCP/{args.port} predictive-scan hits",
+        )
+        out.say(f"hits written -> {args.output}")
+    out.finish(
+        "scan",
+        {
+            "seeds": len(seeds),
+            "prefixes": len(groups),
+            "port": args.port,
+            "budget_per_prefix": spec.budget,
+            "phases": args.phases,
+            "pilot_frac": args.pilot_frac,
+            "probes_sent": result.probes_sent,
+            "hits": len(result.raw_hits),
+            "clean_hits": len(result.clean_hits),
+            "allocations": {
+                str(prefix): state.allocated
+                for prefix, state in sorted(
+                    campaign.progress.items(), key=lambda kv: str(kv[0])
+                )
+            },
             "output": str(args.output) if args.output else None,
         },
     )
@@ -655,6 +735,9 @@ _EXPERIMENTS = {
     "probe-types": lambda a: _ext().format_probe_types(
         _ext().probe_type_experiment(budget=a.budget)
     ),
+    "predictive": lambda a: _ext().format_predictive(
+        _ext().predictive_allocation_experiment(budget_per_prefix=a.budget // 4)
+    ),
 }
 
 
@@ -893,6 +976,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="feed every pass into this living-hitlist store (JSONL; "
              "created if missing, continued from its last epoch "
              "otherwise)",
+    )
+    p.add_argument(
+        "--predictive", action="store_true",
+        help="treat the input as *seeds* and run a phased, predictive "
+             "campaign: group by routed prefix, 6Gen each phase's "
+             "slice, and re-split the budget across prefixes from "
+             "live hit-rate feedback",
+    )
+    p.add_argument(
+        "--budget", type=int, default=10_000,
+        help="per-prefix probe budget for --predictive (default: 10000)",
+    )
+    p.add_argument(
+        "--phases", type=int, default=3,
+        help="plan->scan phases for --predictive (default: 3)",
+    )
+    p.add_argument(
+        "--pilot-frac", type=float, default=0.25, metavar="F",
+        help="budget fraction spent on the uniform pilot phase "
+             "(default: 0.25)",
     )
     add_world_options(p)
     add_output_options(p)

@@ -108,7 +108,22 @@ class AdaptiveScanner:
         self.rng = random.Random(config.rng_seed)
 
     # -- alias testing --------------------------------------------------------
-    def _region_is_aliased(self, range_: NybbleRange) -> bool:
+    def _charged_probe(self, addr: int, result: AdaptiveResult) -> bool | None:
+        """One probe charged against the campaign budget.
+
+        Returns the probe verdict, or ``None`` when the budget is
+        already spent — every probe the adaptive loop sends, including
+        the §6.2 alias-test probes, must land in ``probes_used`` or the
+        run can silently exceed ``total_budget``.
+        """
+        if result.probes_used >= self.config.total_budget:
+            return None
+        result.probes_used += 1
+        return self.scanner.probe(addr, self.config.port)
+
+    def _region_is_aliased(
+        self, range_: NybbleRange, result: AdaptiveResult
+    ) -> bool:
         """The §6.2 random-probe test applied around a suspicious region.
 
         Probes random addresses *outside* the already-scanned range but
@@ -117,6 +132,10 @@ class AdaptiveScanner:
         there; an aliased prefix answers everywhere.  Regions whose
         widened prefix would be shorter than /64 are never classified
         aliased — at that width the test would probe unrelated networks.
+
+        Every probe is charged to ``result.probes_used``; if the budget
+        runs out mid-test the verdict is inconclusive (``False``) so the
+        run never exceeds its budget.
         """
         prefix = covering_prefix_of_range(range_).supernet(
             max(covering_prefix_of_range(range_).length - 4, 0)
@@ -132,21 +151,48 @@ class AdaptiveScanner:
                     break
             if probe_addr is None:
                 return False  # the range fills its prefix: inconclusive
-            if not any(
-                self.scanner.probe(probe_addr, self.config.port) for _ in range(3)
-            ):
+            responded = False
+            for _ in range(3):
+                verdict = self._charged_probe(probe_addr, result)
+                if verdict is None:
+                    return False  # budget exhausted: inconclusive
+                if verdict:
+                    responded = True
+                    break
+            if not responded:
                 return False
         return True
 
     # -- region scanning ------------------------------------------------------
-    def _iter_region_targets(self, range_: NybbleRange, cap: int) -> Iterable[int]:
-        """Up to ``cap`` shuffled targets from a region."""
+    def _iter_region_targets(
+        self, range_: NybbleRange, cap: int, skip: set[int]
+    ) -> Iterable[int]:
+        """Up to ``cap`` shuffled not-yet-probed targets from a region.
+
+        Already-probed addresses are excluded *before* the cap is
+        applied: filtering afterwards would let overlap with earlier
+        regions silently shrink this region's allotment below ``cap``
+        even while unprobed addresses remain.
+        """
         size = range_.size()
         if size <= 4 * cap or size <= 65536:
-            targets = list(range_.iter_ints())
+            targets = [t for t in range_.iter_ints() if t not in skip]
             self.rng.shuffle(targets)
             return targets[:cap]
-        return range_.sample_ints(cap, self.rng)
+        # Sparse region (> 4x the cap): rejection-sample around the
+        # probed set.  Bounded passes keep a mostly-probed region from
+        # spinning; each pass draws a fresh distinct sample.
+        chosen: list[int] = []
+        seen: set[int] = set()
+        for _ in range(8):
+            for t in range_.sample_ints(min(cap, size), self.rng):
+                if t in skip or t in seen:
+                    continue
+                seen.add(t)
+                chosen.append(t)
+                if len(chosen) == cap:
+                    return chosen
+        return chosen
 
     def _scan_region(
         self,
@@ -159,10 +205,9 @@ class AdaptiveScanner:
         if remaining <= 0:
             outcome.status = "budget-exhausted"
             return
-        targets = [
-            t for t in self._iter_region_targets(outcome.range, remaining)
-            if t not in skip
-        ]
+        targets = list(
+            self._iter_region_targets(outcome.range, remaining, skip)
+        )
         batch_start = 0
         while batch_start < len(targets):
             batch = targets[batch_start : batch_start + config.batch_size]
@@ -182,7 +227,7 @@ class AdaptiveScanner:
                     outcome.status = "early-terminated"
                     return
                 if outcome.hit_rate > config.alias_rate_ceiling:
-                    if self._region_is_aliased(outcome.range):
+                    if self._region_is_aliased(outcome.range, result):
                         outcome.status = "alias-halted"
                         result.aliased_regions.append(outcome.range)
                         return
@@ -211,9 +256,15 @@ class AdaptiveScanner:
                 (c for c in generated.clusters if not c.is_singleton()),
                 key=lambda c: (-c.density(), c.range.size()),
             )
-            aliased_so_far = list(result.aliased_regions)
             for cluster in regions:
-                if any(cluster.range.is_subset(a) for a in aliased_so_far):
+                # Checked against the *live* aliased list: a region
+                # alias-halted earlier in this same round must protect
+                # its subset regions scheduled after it (a snapshot
+                # taken before the loop would rescan them).
+                if any(
+                    cluster.range.is_subset(a)
+                    for a in result.aliased_regions
+                ):
                     continue  # never rescan inside known-aliased space
                 outcome = RegionOutcome(range=cluster.range)
                 result.regions.append(outcome)

@@ -50,3 +50,27 @@ def nybble_entropies(seeds: Sequence[int]) -> list[float]:
     if not seeds:
         raise ValueError("entropy analysis requires at least one seed")
     return [shannon_entropy(c) / 4.0 for c in nybble_value_counts(seeds)]
+
+
+def nybble_entropies_columns(hi, lo) -> list[float]:
+    """Column-native :func:`nybble_entropies` over packed ``(hi, lo)``.
+
+    Takes the scan path's uint64 column pair directly — one vectorised
+    shift/mask/bincount per nybble position — so the predictive feature
+    extractor never boxes a 128-bit int.  Values match the scalar path
+    exactly (both reduce to the same histograms).
+    """
+    import numpy as np
+
+    n = len(hi)
+    if n == 0:
+        raise ValueError("entropy analysis requires at least one seed")
+    out: list[float] = []
+    for column in (hi, lo):
+        for j in range(NYBBLE_COUNT // 2):
+            shift = np.uint64(4 * (NYBBLE_COUNT // 2 - 1 - j))
+            values = ((column >> shift) & np.uint64(0xF)).astype(np.intp)
+            counts = np.bincount(values, minlength=16)
+            p = counts[counts > 0] / n
+            out.append(float(-(p * np.log2(p)).sum()) / 4.0)
+    return out

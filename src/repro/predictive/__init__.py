@@ -1,0 +1,25 @@
+"""Predictive, budget-aware probe selection (the §8 allocation loop).
+
+Classic per-prefix 6Gen splits the probe budget statically and learns
+nothing mid-campaign.  This package closes the loop the paper sketches
+in §8: featurise every routed prefix's seed set
+(:mod:`~repro.predictive.features`), train a tiny online hit-rate
+model from early scan feedback (:mod:`~repro.predictive.model`), and
+re-split the remaining budget across prefixes by expected yield at
+every phase boundary (:mod:`~repro.predictive.allocate`).  The
+campaign pipeline drives it through the
+:class:`~repro.campaign.allocation.AllocationPolicy` hook.
+"""
+
+from .allocate import PredictiveAllocator, largest_remainder_split
+from .features import PrefixFeatures, extract_features, policy_labels
+from .model import HitRateModel
+
+__all__ = [
+    "HitRateModel",
+    "PredictiveAllocator",
+    "PrefixFeatures",
+    "extract_features",
+    "largest_remainder_split",
+    "policy_labels",
+]

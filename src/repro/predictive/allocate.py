@@ -1,0 +1,190 @@
+"""Risk-weighted budget allocation across routed prefixes.
+
+The §8 loop this implements: spend a small pilot slice of the budget
+uniformly, learn per-prefix hit probabilities from what comes back
+(:class:`~repro.predictive.model.HitRateModel`), then re-split the
+remaining budget in proportion to expected yield — holding back an
+exploration share so a prefix whose pilot round was unlucky is never
+starved forever, and near-zero-weighting prefixes whose observed rate
+looks like aliasing (a near-perfect response rate is the §6.2 alarm,
+not a jackpot).
+
+:class:`PredictiveAllocator` is a :class:`repro.campaign.allocation.
+AllocationPolicy`: the campaign pipeline calls :meth:`plan` at every
+phase boundary.  Plans are deterministic functions of the model state
+and progress — integer apportionment goes through
+:func:`largest_remainder_split`, which is worker-count- and
+dict-order-independent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Mapping
+
+from .model import HitRateModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..campaign.allocation import PrefixProgress
+    from ..ipv6.prefix import Prefix
+
+
+def largest_remainder_split(total: int, weights: Mapping) -> dict:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    Hamilton's method: floor every proportional share, then hand the
+    leftover units to the largest fractional remainders (ties broken by
+    key string).  Deterministic for any iteration order of ``weights``,
+    exact (allocations sum to ``total``), and zero-weight keys never
+    receive units.  All-zero (or empty) weights fall back to a uniform
+    split — the pilot phase's degenerate case.
+    """
+    keys = sorted(weights, key=str)
+    out = {key: 0 for key in keys}
+    if total <= 0 or not keys:
+        return out
+    weight_sum = float(sum(max(float(weights[k]), 0.0) for k in keys))
+    if weight_sum <= 0.0:
+        shares = {key: total / len(keys) for key in keys}
+    else:
+        shares = {
+            key: total * max(float(weights[key]), 0.0) / weight_sum
+            for key in keys
+        }
+    for key in keys:
+        out[key] = int(shares[key])
+    leftover = total - sum(out.values())
+    by_remainder = sorted(
+        keys, key=lambda k: (out[k] - shares[k], str(k))
+    )
+    for key in by_remainder[:leftover]:
+        out[key] += 1
+    return out
+
+
+class PredictiveAllocator:
+    """Predict-and-reallocate budget policy over a shared hit-rate model.
+
+    ``phases`` is the total number of plan→scan phases; phase 0 is the
+    uniform pilot sized by ``pilot_fraction`` of the budget, later
+    phases split the rest by predicted yield (an even share per
+    remaining phase, everything on the last).  ``explore_fraction`` of
+    each predictive phase stays uniform across live prefixes.
+    ``alias_guard`` (off by default) zero-weights prefixes whose
+    observed hit rate exceeds it — a backstop for drivers feeding the
+    model *raw* hit counts, where a near-perfect rate is the §6.2
+    aliasing alarm.  The phased campaign path instead random-probe
+    tests hit-concentrating /96s and discounts aliased hits before
+    observing, so a high rate there means a genuinely dense prefix
+    (the paper's best networks) and must keep its budget — don't
+    combine that path with a guard.  ``policy_labels`` optionally maps
+    prefixes to simnet allocation-policy names, upgrading the model's
+    feature bins to the oracle labels.
+    """
+
+    def __init__(
+        self,
+        model: HitRateModel | None = None,
+        *,
+        phases: int = 3,
+        pilot_fraction: float = 0.25,
+        explore_fraction: float = 0.10,
+        alias_guard: float | None = None,
+        policy_labels: "Mapping[Prefix, str] | None" = None,
+    ):
+        if phases < 2:
+            raise ValueError(f"predictive allocation needs >= 2 phases: {phases}")
+        if not 0.0 < pilot_fraction < 1.0:
+            raise ValueError(f"pilot_fraction must be in (0, 1): {pilot_fraction}")
+        if not 0.0 <= explore_fraction <= 1.0:
+            raise ValueError(
+                f"explore_fraction must be in [0, 1]: {explore_fraction}"
+            )
+        self.model = model if model is not None else HitRateModel()
+        self.phases = phases
+        self.pilot_fraction = pilot_fraction
+        self.explore_fraction = explore_fraction
+        self.alias_guard = alias_guard
+        self.policy_labels = dict(policy_labels) if policy_labels else {}
+
+    # -- the AllocationPolicy hook --------------------------------------
+
+    def plan(
+        self,
+        phase: int,
+        remaining: int,
+        progress: "Mapping[Prefix, PrefixProgress]",
+    ) -> "dict[Prefix, int]":
+        """Split this phase's budget slice across the live prefixes."""
+        prefixes = sorted(progress)
+        if not prefixes or remaining <= 0:
+            return {}
+        budget = self._phase_budget(phase, remaining, len(prefixes))
+        if phase == 0:
+            return largest_remainder_split(
+                budget, {p: 1.0 for p in prefixes}
+            )
+        self._absorb(phase, progress)
+        n = len(prefixes)
+        weights: dict = {}
+        for prefix in prefixes:
+            key = str(prefix)
+            rate = self.model.observed_rate(key)
+            if (
+                self.alias_guard is not None
+                and rate is not None
+                and rate > self.alias_guard
+            ):
+                # A near-perfect *raw* response rate is the §6.2
+                # aliasing signature; spending more there is how
+                # budgets vanish into one magic /96.
+                weights[prefix] = 0.0
+                continue
+            predicted = self.model.predict(key, self._features(prefix, progress))
+            weights[prefix] = (
+                (1.0 - self.explore_fraction) * predicted
+                + self.explore_fraction / n
+            )
+        return largest_remainder_split(budget, weights)
+
+    # -- internals ------------------------------------------------------
+
+    def _phase_budget(self, phase: int, remaining: int, n: int) -> int:
+        if phase >= self.phases - 1:
+            return remaining
+        if phase == 0:
+            pilot = int(remaining * self.pilot_fraction)
+            # Every prefix deserves at least one pilot probe when the
+            # budget allows it — a zero-probe pilot teaches nothing.
+            return min(remaining, max(pilot, min(remaining, n)))
+        return remaining // (self.phases - phase)
+
+    def _features(self, prefix, progress):
+        features = progress[prefix].features
+        if features is None:
+            raise ValueError(
+                f"progress for {prefix} carries no features; the campaign "
+                "must extract them before planning"
+            )
+        label = self.policy_labels.get(prefix)
+        if label is not None and features.policy is None:
+            features = replace(features, policy=label)
+        return features
+
+    def _absorb(self, phase: int, progress) -> None:
+        """Fold the previous phases' outcomes into the model.
+
+        Observations key on ``(phase, prefix)`` and fold only the delta
+        between the progress totals and what the model already counted,
+        so calling plan() twice for the same phase — or replaying it on
+        resume — changes nothing.
+        """
+        for prefix in sorted(progress):
+            state = progress[prefix]
+            self.model.observe_total(
+                phase,
+                str(prefix),
+                self._features(prefix, progress),
+                state.probes,
+                state.hits,
+            )

@@ -1,0 +1,175 @@
+"""An online, binned Beta-posterior hit-rate model.
+
+The allocator needs ``P(probe in prefix p responds)`` *before* most of
+the budget is spent, from two signal sources of very different sample
+size: the prefix's own early-phase observations (few probes, exactly
+the right distribution) and the pooled observations of *similar*
+prefixes (many probes, approximately the right distribution).  A
+conjugate Beta posterior per feature bin handles both with nothing but
+counters:
+
+* every prefix maps to a :meth:`HitRateModel.bin_key` — its policy
+  label (when known) plus coarse density and IID-entropy buckets;
+* observations update the bin's pooled ``(probes, hits)`` and the
+  prefix's own ``(probes, hits)``;
+* :meth:`predict` shrinks the prefix's empirical rate toward the bin's
+  posterior mean with a fixed prior strength — prefixes with little
+  evidence ride the pool, prefixes with lots of evidence speak for
+  themselves.
+
+Pure counters make the model trivially deterministic, mergeable, and
+replayable: re-observing the same ``(phase, prefix)`` pair is a no-op
+(see :meth:`observe`), which is what makes checkpoint/resume rebuild
+identical state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .features import PrefixFeatures
+
+
+class HitRateModel:
+    """Calibrated per-prefix hit-probability estimates from counters.
+
+    ``alpha0``/``beta0`` form the Beta prior of every bin (the default
+    expects roughly one hit per nine probes before any evidence —
+    scans are usually sparse); ``prior_strength`` is the pseudo-probe
+    weight of the bin posterior when shrinking a prefix's own rate.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha0: float = 1.0,
+        beta0: float = 8.0,
+        prior_strength: float = 32.0,
+    ):
+        if alpha0 <= 0 or beta0 <= 0:
+            raise ValueError("Beta prior parameters must be positive")
+        if prior_strength < 0:
+            raise ValueError(f"prior_strength must be >= 0: {prior_strength}")
+        self.alpha0 = alpha0
+        self.beta0 = beta0
+        self.prior_strength = prior_strength
+        self._bins: dict[tuple, list[int]] = {}
+        self._prefixes: dict[str, list[int]] = {}
+        self._seen: set[tuple[int, str]] = set()
+
+    # -- binning --------------------------------------------------------
+
+    @staticmethod
+    def bin_key(features: "PrefixFeatures") -> tuple:
+        """The pooled-evidence bucket a prefix's features fall into.
+
+        Policy label (or ``"?"``), log2 seed-density bucket, and a
+        quarter-scale IID-entropy bucket.  Coarse on purpose: bins must
+        collect enough observations to be worth pooling.
+        """
+        density_bucket = int(math.log2(max(features.seed_density, 1.0)))
+        entropy_bucket = min(int(features.mean_iid_entropy * 4), 3)
+        return (features.policy or "?", density_bucket, entropy_bucket)
+
+    # -- updates --------------------------------------------------------
+
+    def observe(
+        self,
+        phase: int,
+        prefix_key: str,
+        features: "PrefixFeatures",
+        probes: int,
+        hits: int,
+    ) -> bool:
+        """Fold one phase's outcome for one prefix into the counters.
+
+        Idempotent per ``(phase, prefix_key)``: a resumed campaign
+        replays every recorded phase, and replays must not double-count
+        evidence.  Returns True when the observation was new.
+        """
+        if probes < 0 or hits < 0 or hits > probes:
+            raise ValueError(
+                f"invalid observation: probes={probes} hits={hits}"
+            )
+        mark = (phase, prefix_key)
+        if mark in self._seen:
+            return False
+        self._seen.add(mark)
+        if probes == 0:
+            return True
+        bin_ = self._bins.setdefault(self.bin_key(features), [0, 0])
+        bin_[0] += probes
+        bin_[1] += hits
+        own = self._prefixes.setdefault(prefix_key, [0, 0])
+        own[0] += probes
+        own[1] += hits
+        return True
+
+    def observe_total(
+        self,
+        phase: int,
+        prefix_key: str,
+        features: "PrefixFeatures",
+        total_probes: int,
+        total_hits: int,
+    ) -> bool:
+        """Observe *cumulative* per-prefix totals, folding only the delta.
+
+        Callers that track running totals (the campaign's
+        :class:`~repro.campaign.allocation.PrefixProgress`) pass them
+        straight in; the model subtracts what it has already counted
+        for the prefix.  Same idempotence contract as :meth:`observe`.
+        """
+        own = self._prefixes.get(prefix_key, (0, 0))
+        return self.observe(
+            phase,
+            prefix_key,
+            features,
+            total_probes - own[0],
+            total_hits - own[1],
+        )
+
+    # -- prediction -----------------------------------------------------
+
+    def predict(self, prefix_key: str, features: "PrefixFeatures") -> float:
+        """Posterior hit probability for the next probe in this prefix."""
+        bin_probes, bin_hits = self._bins.get(
+            self.bin_key(features), (0, 0)
+        )
+        bin_mean = (self.alpha0 + bin_hits) / (
+            self.alpha0 + self.beta0 + bin_probes
+        )
+        own_probes, own_hits = self._prefixes.get(prefix_key, (0, 0))
+        return (self.prior_strength * bin_mean + own_hits) / (
+            self.prior_strength + own_probes
+        )
+
+    def observed_rate(self, prefix_key: str) -> float | None:
+        """The prefix's raw empirical rate, or None before any probes."""
+        probes, hits = self._prefixes.get(prefix_key, (0, 0))
+        return hits / probes if probes else None
+
+    # -- introspection --------------------------------------------------
+
+    def state(self) -> dict:
+        """A canonical, JSON-able snapshot of every counter.
+
+        Two models that saw the same observations — in any order, with
+        any replays — produce equal snapshots; the resume-idempotence
+        tests compare these directly.
+        """
+        return {
+            "bins": {
+                "|".join(map(str, key)): list(value)
+                for key, value in sorted(self._bins.items())
+            },
+            "prefixes": {
+                key: list(value)
+                for key, value in sorted(self._prefixes.items())
+            },
+            "observations": sorted(
+                f"{phase}:{key}" for phase, key in self._seen
+            ),
+        }

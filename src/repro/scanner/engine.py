@@ -268,6 +268,21 @@ class Scanner:
             self._probe_key = mix64(int(rng_seed) ^ _PROBE_SALT)
         self.total_probes = 0
 
+    def skip_scan_keys(self, scans: int = 1) -> None:
+        """Advance the scan-key stream past ``scans`` completed scans.
+
+        Every scan draws one (perm, loss) key pair from ``_order_rng``
+        in sequence.  A process resuming a multi-scan campaign replays
+        completed scans from their checkpoints instead of re-running
+        them, so it must burn their key pairs to keep later scans on
+        the same keys an uninterrupted run would draw.
+        """
+        if scans < 0:
+            raise ValueError(f"scans must be >= 0: {scans}")
+        for _ in range(scans):
+            self._order_rng.getrandbits(64)
+            self._order_rng.getrandbits(64)
+
     # -- single probe -------------------------------------------------------
     def probe(self, addr: int, port: int = DEFAULT_PORT) -> bool:
         """Send one probe; returns True on a SYN-ACK.

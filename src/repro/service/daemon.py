@@ -147,6 +147,7 @@ class CampaignService:
         crash: "WorkerCrash | None" = None,
         telemetry: Telemetry | None = None,
         targets=None,
+        allocation=None,
     ) -> str:
         """Queue a campaign for ``tenant``; returns its job id.
 
@@ -155,6 +156,11 @@ class CampaignService:
         runs until the scheduler gives the job a turn.  ``targets``
         passes an explicit target list/column pair through to the
         campaign, bypassing generation (the delta re-probe path).
+        ``allocation`` plugs an :class:`~repro.campaign.allocation.
+        AllocationPolicy` into the campaign — it then runs phased,
+        re-splitting budget across prefixes at quantum-compatible phase
+        boundaries, with the tenant's budget ledger bounding every plan
+        so a re-split never schedules probes the tenant cannot pay for.
         """
         if tenant not in self.tenants:
             raise KeyError(f"unknown tenant: {tenant!r}")
@@ -179,6 +185,10 @@ class CampaignService:
             checkpoint_path=checkpoint_path,
             name=name or job_id,
             targets=targets,
+            allocation=allocation,
+            budget_ledger=(
+                self.tenants[tenant].budget if allocation is not None else None
+            ),
         )
         job = CampaignJob(
             job_id=job_id, tenant=tenant, campaign=campaign,
@@ -256,8 +266,10 @@ class CampaignService:
 
     def _charge(self, job: CampaignJob, tenant: _Tenant) -> None:
         # Budgets are first-attempt probe budgets (the paper's unit);
-        # retransmits ride free, like blacklisted targets.
-        sent = job.campaign.execution.stats.probes_sent
+        # retransmits ride free, like blacklisted targets.  The
+        # campaign-level counter spans phases, so phased campaigns
+        # charge correctly across their per-phase executions.
+        sent = job.campaign.probes_sent
         delta = sent - job.charged
         if delta:
             tenant.budget.charge(delta)

@@ -119,6 +119,117 @@ class TestAliasHalting:
         assert not result.regions_with_status("alias-halted")
 
 
+class _FakeCluster:
+    """Stand-in 6Gen cluster: just a range with a chosen density."""
+
+    def __init__(self, range_, density):
+        self.range = range_
+        self._density = density
+
+    def is_singleton(self):
+        return False
+
+    def density(self):
+        return self._density
+
+
+class _FakeGenerated:
+    def __init__(self, clusters):
+        self.clusters = clusters
+
+
+class TestBudgetAccounting:
+    """Regression tests for the three budget-accounting bugs."""
+
+    def test_mid_round_alias_halt_protects_subset_regions(self, monkeypatch):
+        # Region A (wide, dense) alias-halts mid-round; region B, a
+        # subset of A scheduled *after* it in the same round, must be
+        # skipped.  The pre-fix code compared against a stale snapshot
+        # of aliased_regions taken before the round's region loop and
+        # rescanned B into known-aliased space.
+        region_a = NybbleRange.parse("2600:aaaa::??")
+        region_b = NybbleRange.parse("2600:aaaa::1?")
+        monkeypatch.setattr(
+            "repro.core.feedback.run_6gen",
+            lambda seeds, budget, rng_seed=None: _FakeGenerated(
+                [_FakeCluster(region_a, 0.9), _FakeCluster(region_b, 0.8)]
+            ),
+        )
+        scanner = _scanner(aliased=["2600:aaaa::/96"])
+        config = AdaptiveConfig(
+            total_budget=10_000, trial_quota=64, batch_size=64, rounds=1
+        )
+        result = AdaptiveScanner(scanner, config).run(
+            [addr("2600:aaaa::1"), addr("2600:aaaa::2")]
+        )
+        assert [r.status for r in result.regions] == ["alias-halted"]
+        assert result.aliased_regions == [region_a]
+
+    def test_skip_overlap_does_not_starve_region(self):
+        # 200 of the region's 256 addresses were already probed; with
+        # 56 budget remaining the region must still get 56 probes.
+        # The pre-fix code capped the shuffled sample at 56 *before*
+        # filtering the probed set, shrinking the allotment to the
+        # handful of sampled addresses that happened to be unprobed.
+        hosts = [addr(f"2001:db8::{i:x}") for i in range(256)]
+        scanner = _scanner(hosts=hosts)
+        config = AdaptiveConfig(total_budget=56, trial_quota=1000, rounds=1)
+        adaptive = AdaptiveScanner(scanner, config)
+        from repro.core.feedback import AdaptiveResult, RegionOutcome
+
+        result = AdaptiveResult()
+        outcome = RegionOutcome(range=NybbleRange.parse("2001:db8::??"))
+        skip = set(hosts[:200])
+        adaptive._scan_region(outcome, result, skip)
+        assert outcome.probes == 56
+        assert result.probes_used == 56
+
+    def test_alias_test_probes_are_charged(self, monkeypatch):
+        # Pre-fix, _region_is_aliased sent up to 9 probes that never
+        # landed in probes_used, so runs exceeded total_budget.  Every
+        # probe now goes through the charged path: the scanner's raw
+        # probe counter and the result's ledger must agree exactly,
+        # and stay within budget.
+        region = NybbleRange.parse("2600:aaaa::??")
+        monkeypatch.setattr(
+            "repro.core.feedback.run_6gen",
+            lambda seeds, budget, rng_seed=None: _FakeGenerated(
+                [_FakeCluster(region, 0.9)]
+            ),
+        )
+        seeds = [addr("2600:aaaa::1"), addr("2600:aaaa::2")]
+        scanner = _scanner(aliased=["2600:aaaa::/96"])
+        config = AdaptiveConfig(
+            total_budget=200, trial_quota=64, batch_size=64, rounds=1
+        )
+        result = AdaptiveScanner(scanner, config).run(seeds)
+        assert result.regions_with_status("alias-halted")
+        assert result.probes_used <= 200
+        assert scanner.total_probes == result.probes_used
+
+    def test_budget_exhaustion_mid_alias_test_is_inconclusive(self, monkeypatch):
+        # With only 2 probes of headroom after the trial batch, the
+        # alias test runs out of budget mid-test: the verdict must be
+        # inconclusive (region not recorded aliased) and the budget
+        # never exceeded.
+        region = NybbleRange.parse("2600:aaaa::??")
+        monkeypatch.setattr(
+            "repro.core.feedback.run_6gen",
+            lambda seeds, budget, rng_seed=None: _FakeGenerated(
+                [_FakeCluster(region, 0.9)]
+            ),
+        )
+        seeds = [addr("2600:aaaa::1"), addr("2600:aaaa::2")]
+        scanner = _scanner(aliased=["2600:aaaa::/96"])
+        config = AdaptiveConfig(
+            total_budget=66, trial_quota=64, batch_size=64, rounds=1
+        )
+        result = AdaptiveScanner(scanner, config).run(seeds)
+        assert result.probes_used == 66
+        assert scanner.total_probes == 66
+        assert not result.aliased_regions
+
+
 class TestFeedbackRounds:
     def test_second_round_uses_discovered_hits(self):
         # Round 1 discovers hosts that reveal a second dense block;
